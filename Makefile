@@ -1,0 +1,36 @@
+GO ?= go
+
+.PHONY: all build test vet bench experiments experiments-small examples clean
+
+all: vet test build
+
+build:
+	$(GO) build ./...
+
+vet:
+	gofmt -l . && $(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime 1x .
+
+experiments:
+	$(GO) run ./cmd/experiments -verbose -data-dir data
+
+experiments-small:
+	$(GO) run ./cmd/experiments -small -verbose
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/isp_observer
+	$(GO) run ./examples/ad_campaign
+	$(GO) run ./examples/streaming_detection
+	$(GO) run ./examples/countermeasures
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,531 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus component throughput ("the algorithm is fully
+// parallelizable ... allowing traffic analysis at line rate", Section
+// 4.1) and the ablations called out in DESIGN.md.
+//
+// Quality-bearing benchmarks report their headline quantity as a custom
+// metric (purity, affinity, CTR ratio) next to the timing, so a single
+// `go test -bench=.` run reproduces both the numbers and the costs.
+package hostprof_test
+
+import (
+	"sync"
+	"testing"
+
+	"hostprof"
+	"hostprof/internal/ads"
+	"hostprof/internal/core"
+	"hostprof/internal/experiment"
+	"hostprof/internal/sniffer"
+	"hostprof/internal/stats"
+	"hostprof/internal/synth"
+	"hostprof/internal/trace"
+	"hostprof/internal/tsne"
+)
+
+// benchWorld lazily builds the shared experiment setup; its cost is kept
+// out of every benchmark's timer.
+var (
+	benchOnce  sync.Once
+	benchSetup *experiment.Setup
+	benchErr   error
+)
+
+func setupBench(b *testing.B) *experiment.Setup {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchSetup, benchErr = experiment.NewSetup(experiment.SmallConfig(77))
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchSetup
+}
+
+// --- One benchmark per table/figure -----------------------------------
+
+func BenchmarkFig2UserDiversityHostnames(b *testing.B) {
+	s := setupBench(b)
+	b.ResetTimer()
+	var r experiment.DiversityResult
+	for i := 0; i < b.N; i++ {
+		r = experiment.Fig2UserDiversityHostnames(s)
+	}
+	b.ReportMetric(float64(r.CoreSizes[0]), "core80-size")
+}
+
+func BenchmarkFig3UserDiversityCategories(b *testing.B) {
+	s := setupBench(b)
+	b.ResetTimer()
+	var r experiment.DiversityResult
+	for i := 0; i < b.N; i++ {
+		r = experiment.Fig3UserDiversityCategories(s)
+	}
+	b.ReportMetric(float64(r.CommonToAll), "common-cats")
+}
+
+func BenchmarkFig4TSNEEmbeddings(b *testing.B) {
+	s := setupBench(b)
+	b.ResetTimer()
+	var r experiment.Fig4Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiment.Fig4TSNE(s, 0, 30)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.Purity2D, "purity2d")
+}
+
+func BenchmarkFig5ClusterPurity(b *testing.B) {
+	s := setupBench(b)
+	b.ResetTimer()
+	var r experiment.Fig5Result
+	for i := 0; i < b.N; i++ {
+		r = experiment.Fig5ClusterPurity(s)
+	}
+	b.ReportMetric(r.MeanPurity, "purity")
+	b.ReportMetric(r.Chance, "chance")
+}
+
+// benchCampaign runs the ad-replacement campaign once per iteration and
+// returns the last result.
+func benchCampaign(b *testing.B, s *experiment.Setup) experiment.CampaignResult {
+	b.Helper()
+	var r experiment.CampaignResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiment.RunCampaign(s, s.Profiler, experiment.CampaignConfig{Seed: uint64(i) + 7})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return r
+}
+
+func BenchmarkFig6aWebsiteTopics(b *testing.B) {
+	s := setupBench(b)
+	b.ResetTimer()
+	r := benchCampaign(b, s)
+	_, share := dominantShare(r.WebsiteTopics)
+	b.ReportMetric(share, "top-share")
+}
+
+func BenchmarkFig6bAdNetworkAdTopics(b *testing.B) {
+	s := setupBench(b)
+	b.ResetTimer()
+	r := benchCampaign(b, s)
+	_, share := dominantShare(r.AdNetTopics)
+	b.ReportMetric(share, "top-share")
+}
+
+func BenchmarkFig6cEavesdropperAdTopics(b *testing.B) {
+	s := setupBench(b)
+	b.ResetTimer()
+	r := benchCampaign(b, s)
+	_, share := dominantShare(r.EavesTopics)
+	b.ReportMetric(share, "top-share")
+}
+
+func BenchmarkTableCTR(b *testing.B) {
+	s := setupBench(b)
+	b.ResetTimer()
+	r := benchCampaign(b, s)
+	b.ReportMetric(r.EavesCTR.Percent(), "eaves-ctr-pct")
+	b.ReportMetric(r.AdNetCTR.Percent(), "adnet-ctr-pct")
+	b.ReportMetric(r.TTest.P, "ttest-p")
+}
+
+func BenchmarkTableCoverage(b *testing.B) {
+	s := setupBench(b)
+	b.ResetTimer()
+	var c experiment.CoverageStats
+	for i := 0; i < b.N; i++ {
+		c = experiment.TableCoverage(s)
+	}
+	b.ReportMetric(100*c.Coverage, "coverage-pct")
+	b.ReportMetric(100*c.Contentless, "contentless-pct")
+}
+
+func BenchmarkTableTrackerFilter(b *testing.B) {
+	s := setupBench(b)
+	b.ResetTimer()
+	var t experiment.TrackerStats
+	for i := 0; i < b.N; i++ {
+		t = experiment.TableTrackerFilter(s)
+	}
+	b.ReportMetric(100*t.Share, "tracker-share-pct")
+}
+
+// --- Scale / line-rate claims (Section 4.1) ----------------------------
+
+func BenchmarkTrainThroughput(b *testing.B) {
+	s := setupBench(b)
+	corpus := s.Filtered.AllSequences()
+	var tokens int64
+	for _, seq := range corpus {
+		tokens += int64(len(seq))
+	}
+	cfg := core.TrainConfig{Dim: 32, Epochs: 1, MinCount: 2, Workers: 1, Seed: 5, Subsample: -1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Train(corpus, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tokens)*float64(b.N)/b.Elapsed().Seconds(), "tokens/s")
+}
+
+func BenchmarkSNIParse(b *testing.B) {
+	rng := stats.NewRNG(1)
+	rec := sniffer.BuildClientHello("throughput.test.example", rng)
+	b.SetBytes(int64(len(rec)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sniffer.ParseSNI(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQUICInitialParse(b *testing.B) {
+	rng := stats.NewRNG(2)
+	pkt, err := sniffer.BuildQUICInitial("quic.test.example", rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(pkt)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sniffer.ParseQUICInitialSNI(pkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDNSParse(b *testing.B) {
+	q, err := sniffer.BuildDNSQuery("dns.test.example", 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(q)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sniffer.ParseDNSQueryName(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkObserverPacketRate(b *testing.B) {
+	// Pre-render a realistic packet mix once, then measure pure
+	// observation throughput.
+	visits := make([]trace.Visit, 200)
+	for i := range visits {
+		visits[i] = trace.Visit{User: i % 8, Time: int64(i), Host: "rate.test.example"}
+	}
+	syn := sniffer.NewSynthesizer(sniffer.WireConfig{Channel: sniffer.ChannelMixed, Seed: 3})
+	cap, err := syn.SynthesizeTrace(trace.New(visits))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var bytes int64
+	for _, p := range cap.Packets {
+		bytes += int64(len(p))
+	}
+	b.SetBytes(bytes / int64(len(cap.Packets)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obs := sniffer.NewObserver(sniffer.ObserverConfig{})
+		for j, frame := range cap.Packets {
+			obs.ProcessPacket(frame, cap.Times[j])
+		}
+	}
+	b.ReportMetric(float64(len(cap.Packets))*float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
+}
+
+func BenchmarkProfileSession(b *testing.B) {
+	s := setupBench(b)
+	per := s.Filtered.PerUserVisits()
+	uid := s.Filtered.Users()[0]
+	visits := per[uid]
+	session := s.Filtered.Session(uid, visits[len(visits)/2].Time, 1200)
+	if len(session) == 0 {
+		b.Fatal("empty bench session")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Profiler.ProfileSession(session); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAdSelection(b *testing.B) {
+	s := setupBench(b)
+	profile := s.Universe.Tax.NewVector()
+	profile[3], profile[40], profile[100] = 0.4, 0.3, 0.2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := s.Selector.Select(profile, 20); len(got) == 0 {
+			b.Fatal("no ads")
+		}
+	}
+}
+
+func BenchmarkTSNE(b *testing.B) {
+	rng := stats.NewRNG(4)
+	points := make([][]float64, 120)
+	for i := range points {
+		points[i] = make([]float64, 16)
+		for d := range points[i] {
+			points[i][d] = rng.NormFloat64()
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tsne.Embed(points, tsne.Config{Iterations: 30, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkModelNearestNeighbours(b *testing.B) {
+	s := setupBench(b)
+	q := s.Model.VectorByID(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Model.NearestToVector(q, 40, nil)
+	}
+}
+
+// --- Ablations (DESIGN.md "Design notes") -------------------------------
+
+// ablationCampaign runs the campaign with a profiler variant and reports
+// the mean eavesdropper ad affinity (the deterministic quality signal).
+func ablationCampaign(b *testing.B, s *experiment.Setup, prof *core.Profiler, cfg experiment.CampaignConfig) {
+	b.Helper()
+	var r experiment.CampaignResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiment.RunCampaign(s, prof, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.MeanEavesAffinity, "eaves-affinity")
+	b.ReportMetric(float64(r.ProfileFailures), "profile-failures")
+}
+
+func BenchmarkAblationAggregation(b *testing.B) {
+	s := setupBench(b)
+	for _, c := range []struct {
+		name string
+		agg  core.Aggregation
+	}{{"mean", core.AggMean}, {"sum", core.AggSum}, {"idf", core.AggIDF}} {
+		b.Run(c.name, func(b *testing.B) {
+			p := core.NewProfiler(s.Model, s.Ontology, core.ProfilerConfig{N: 40, Agg: c.agg})
+			ablationCampaign(b, s, p, experiment.CampaignConfig{Seed: 11})
+		})
+	}
+}
+
+func BenchmarkAblationNeighbours(b *testing.B) {
+	s := setupBench(b)
+	for _, n := range []int{10, 40, 160} {
+		b.Run(map[int]string{10: "N10", 40: "N40", 160: "N160"}[n], func(b *testing.B) {
+			p := core.NewProfiler(s.Model, s.Ontology, core.ProfilerConfig{N: n, Agg: core.AggIDF})
+			ablationCampaign(b, s, p, experiment.CampaignConfig{Seed: 11})
+		})
+	}
+}
+
+func BenchmarkAblationWindow(b *testing.B) {
+	s := setupBench(b)
+	for _, c := range []struct {
+		name string
+		secs int64
+	}{{"T5min", 300}, {"T20min", 1200}, {"T60min", 3600}} {
+		b.Run(c.name, func(b *testing.B) {
+			cfg := s.Config
+			cfg.SessionWindow = c.secs
+			s2 := *s
+			s2.Config = cfg
+			ablationCampaign(b, &s2, s.Profiler, experiment.CampaignConfig{Seed: 11})
+		})
+	}
+}
+
+func BenchmarkAblationNoDedup(b *testing.B) {
+	s := setupBench(b)
+	for _, c := range []struct {
+		name string
+		skip bool
+	}{{"dedup", false}, {"nodedup", true}} {
+		b.Run(c.name, func(b *testing.B) {
+			p := core.NewProfiler(s.Model, s.Ontology, core.ProfilerConfig{N: 40, Agg: core.AggIDF, SkipDedup: c.skip})
+			ablationCampaign(b, s, p, experiment.CampaignConfig{Seed: 11})
+		})
+	}
+}
+
+func BenchmarkAblationNoTrackerFilter(b *testing.B) {
+	// Train a model on the unfiltered trace (trackers kept) and compare
+	// eavesdropper ad quality.
+	s := setupBench(b)
+	cfg := s.Config.Train
+	model, err := core.Train(s.Raw.AllSequences(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := core.NewProfiler(model, s.Ontology, core.ProfilerConfig{N: 40, Agg: core.AggIDF})
+	b.ResetTimer()
+	ablationCampaign(b, s, p, experiment.CampaignConfig{Seed: 11})
+}
+
+// --- helpers ------------------------------------------------------------
+
+func dominantShare(m [][]float64) (int, float64) {
+	if len(m) == 0 {
+		return -1, 0
+	}
+	means := make([]float64, len(m[0]))
+	for _, row := range m {
+		for i, v := range row {
+			means[i] += v / float64(len(m))
+		}
+	}
+	best := 0
+	for i, v := range means {
+		if v > means[best] {
+			best = i
+		}
+	}
+	return best, means[best]
+}
+
+// Keep the facade exercised from the bench package too.
+var _ = hostprof.NewTaxonomy
+
+func BenchmarkTrainParallelScaling(b *testing.B) {
+	s := setupBench(b)
+	corpus := s.Filtered.AllSequences()
+	for _, w := range []int{1, 2, 4} {
+		b.Run(map[int]string{1: "workers1", 2: "workers2", 4: "workers4"}[w], func(b *testing.B) {
+			cfg := core.TrainConfig{Dim: 32, Epochs: 1, MinCount: 2, Workers: w, Seed: 5, Subsample: -1}
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Train(corpus, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAdNetworkServe(b *testing.B) {
+	s := setupBench(b)
+	net := ads.NewAdNetwork(s.AdDB, 9)
+	user := s.Population.Users[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Serve(user, i%34, i%14)
+	}
+}
+
+func BenchmarkSynthesizeWire(b *testing.B) {
+	visits := make([]trace.Visit, 50)
+	for i := range visits {
+		visits[i] = trace.Visit{User: i % 4, Time: int64(i), Host: "wire.test.example"}
+	}
+	tr := trace.New(visits)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		syn := sniffer.NewSynthesizer(sniffer.WireConfig{Channel: sniffer.ChannelTLS, Seed: uint64(i)})
+		if _, err := syn.SynthesizeTrace(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUniverseGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		u := synth.NewUniverse(synth.UniverseConfig{Sites: 150, Seed: uint64(i)})
+		if len(u.Hosts) == 0 {
+			b.Fatal("empty universe")
+		}
+	}
+}
+
+// --- Section 7.2 extensions ---------------------------------------------
+
+func BenchmarkExtECHProfiling(b *testing.B) {
+	s := setupBench(b)
+	for _, c := range []struct {
+		name string
+		prob float64
+	}{{"ech0", 0}, {"ech40", 0.4}, {"ech100", 1}} {
+		b.Run(c.name, func(b *testing.B) {
+			var r experiment.ExtResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				ch := sniffer.ChannelTLS
+				if c.prob >= 1 {
+					ch = sniffer.ChannelECH
+				}
+				r, err = experiment.RunExtension(s, experiment.ExtConfig{
+					Wire:       sniffer.WireConfig{Channel: ch, ECHProb: c.prob, Seed: 501},
+					ResolveIPs: true,
+					Seed:       503,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.MatchRate(), "match-rate")
+			b.ReportMetric(r.FallbackShare, "ip-fallback-share")
+		})
+	}
+}
+
+func BenchmarkExtNATHouseholds(b *testing.B) {
+	s := setupBench(b)
+	for _, n := range []int{1, 3, 6} {
+		b.Run(map[int]string{1: "nat1", 3: "nat3", 6: "nat6"}[n], func(b *testing.B) {
+			var r experiment.ExtResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				r, err = experiment.RunExtension(s, experiment.ExtConfig{
+					Wire: sniffer.WireConfig{Channel: sniffer.ChannelTLS, NATSize: n, Seed: 505},
+					Seed: 507,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.MatchRate(), "match-rate")
+			b.ReportMetric(float64(r.Profiled), "wire-identities")
+		})
+	}
+}
+
+func BenchmarkAblationDailyRetrain(b *testing.B) {
+	s := setupBench(b)
+	for _, c := range []struct {
+		name  string
+		daily bool
+	}{{"one-model", false}, {"daily-retrain", true}} {
+		b.Run(c.name, func(b *testing.B) {
+			var r experiment.CampaignResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				r, err = experiment.RunCampaign(s, s.Profiler,
+					experiment.CampaignConfig{Seed: 11, DailyRetrain: c.daily})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.MeanEavesAffinity, "eaves-affinity")
+		})
+	}
+}

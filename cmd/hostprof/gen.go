@@ -1,0 +1,122 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"hostprof/internal/pcap"
+	"hostprof/internal/sniffer"
+	"hostprof/internal/synth"
+)
+
+// cmdGen generates a synthetic world and writes its artefacts.
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	out := fs.String("out", "world", "output directory")
+	sites := fs.Int("sites", 400, "number of first-party sites")
+	users := fs.Int("users", 50, "number of users")
+	days := fs.Int("days", 7, "days of browsing")
+	coverage := fs.Float64("coverage", 0.106, "ontology coverage fraction")
+	seed := fs.Uint64("seed", 1, "generation seed")
+	channel := fs.String("channel", "mixed", "wire channel: tls, quic, dns, mixed")
+	writePcap := fs.Bool("pcap", true, "also render the trace to capture.pcap")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+
+	u := synth.NewUniverse(synth.UniverseConfig{Sites: *sites, Seed: *seed})
+	ont := synth.BuildOntology(u, synth.OntologyConfig{Coverage: *coverage, Seed: *seed + 1})
+	pop := synth.NewPopulation(u, synth.PopulationConfig{Users: *users, Days: *days, Seed: *seed + 2})
+	tr := pop.Browse()
+
+	// Trace JSONL.
+	if err := writeFile(filepath.Join(*out, "trace.jsonl"), tr.WriteJSONL); err != nil {
+		return err
+	}
+	// Ontology labels.
+	if err := writeFile(filepath.Join(*out, "ontology.jsonl"), ont.WriteJSONL); err != nil {
+		return err
+	}
+	// Blocklist in hosts-file format.
+	bl := synth.BuildBlocklist(u, 1, *seed+3)
+	blPath := filepath.Join(*out, "blocklist.hosts")
+	f, err := os.Create(blPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(f, "# synthetic tracker blocklist (adaway-style)")
+	for _, hid := range u.TrackerIDs {
+		fmt.Fprintf(f, "127.0.0.1 %s\n", u.Hosts[hid].Name)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	if *writePcap {
+		ch, err := parseChannel(*channel)
+		if err != nil {
+			return err
+		}
+		syn := sniffer.NewSynthesizer(sniffer.WireConfig{Channel: ch, Seed: *seed + 4})
+		cap, err := syn.SynthesizeTrace(tr)
+		if err != nil {
+			return err
+		}
+		pf, err := os.Create(filepath.Join(*out, "capture.pcap"))
+		if err != nil {
+			return err
+		}
+		w := pcap.NewWriter(pf)
+		for i, frame := range cap.Packets {
+			if err := w.WriteRecord(uint32(cap.Times[i]), 0, frame); err != nil {
+				pf.Close()
+				return err
+			}
+		}
+		if err := pf.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d packets to capture.pcap\n", cap.Len())
+	}
+
+	fmt.Printf("world: %d hosts (%d sites), %d users, %d days\n",
+		len(u.Hosts), len(u.Sites), *users, *days)
+	fmt.Printf("trace: %d visits; ontology: %d labelled hosts; blocklist: %d entries\n",
+		tr.Len(), ont.Len(), bl.Len())
+	fmt.Printf("artefacts in %s/\n", *out)
+	return nil
+}
+
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func parseChannel(s string) (sniffer.Channel, error) {
+	switch s {
+	case "tls":
+		return sniffer.ChannelTLS, nil
+	case "quic":
+		return sniffer.ChannelQUIC, nil
+	case "dns":
+		return sniffer.ChannelDNS, nil
+	case "mixed":
+		return sniffer.ChannelMixed, nil
+	default:
+		return 0, fmt.Errorf("unknown channel %q", s)
+	}
+}

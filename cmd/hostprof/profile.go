@@ -1,0 +1,149 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"hostprof/internal/core"
+	"hostprof/internal/ontology"
+	"hostprof/internal/trace"
+)
+
+// cmdProfile profiles one user's recent session.
+func cmdProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	modelPath := fs.String("model", "", "trained model (required)")
+	ontPath := fs.String("ontology", "", "ontology labels JSONL (required)")
+	tracePath := fs.String("trace", "", "trace JSONL (required)")
+	user := fs.Int("user", 0, "user ID to profile")
+	at := fs.Int64("at", -1, "profile instant in trace seconds (-1 = user's last visit)")
+	window := fs.Int64("window", 1200, "session window T in seconds (paper: 1200)")
+	n := fs.Int("n", 1000, "nearest hostnames N (paper: 1000)")
+	top := fs.Int("top", 10, "categories to print")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *modelPath == "" || *ontPath == "" || *tracePath == "" {
+		return fmt.Errorf("-model, -ontology and -trace are required")
+	}
+
+	model, err := core.LoadFile(*modelPath)
+	if err != nil {
+		return err
+	}
+	tax := ontology.NewTaxonomy()
+	of, err := os.Open(*ontPath)
+	if err != nil {
+		return err
+	}
+	ont, err := ontology.ReadJSONL(tax, of)
+	of.Close()
+	if err != nil {
+		return err
+	}
+	tf, err := os.Open(*tracePath)
+	if err != nil {
+		return err
+	}
+	tr, err := trace.ReadJSONL(tf)
+	tf.Close()
+	if err != nil {
+		return err
+	}
+
+	now := *at
+	if now < 0 {
+		for _, v := range tr.Visits() {
+			if v.User == *user {
+				now = v.Time
+			}
+		}
+		if now < 0 {
+			return fmt.Errorf("user %d has no visits", *user)
+		}
+	}
+	session := tr.Session(*user, now, *window)
+	fmt.Printf("user %d at t=%d: %d hostnames in last %d s\n",
+		*user, now, len(session), *window)
+
+	profiler := core.NewProfiler(model, ont, core.ProfilerConfig{N: *n})
+	prof, err := profiler.ProfileSession(session)
+	if err != nil {
+		return err
+	}
+
+	type kv struct {
+		id int
+		w  float64
+	}
+	var ranked []kv
+	for id, w := range prof {
+		if w > 0 {
+			ranked = append(ranked, kv{id, w})
+		}
+	}
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].w > ranked[j].w })
+	fmt.Println("profile:")
+	for i, e := range ranked {
+		if i >= *top {
+			break
+		}
+		fmt.Printf("  %.4f  %s\n", e.w, tax.Category(e.id).Name)
+	}
+	return nil
+}
+
+// cmdSimilar prints nearest hostnames in embedding space.
+func cmdSimilar(args []string) error {
+	fs := flag.NewFlagSet("similar", flag.ExitOnError)
+	modelPath := fs.String("model", "", "trained model (required)")
+	host := fs.String("host", "", "query hostname (required)")
+	k := fs.Int("k", 10, "neighbours to print")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *modelPath == "" || *host == "" {
+		return fmt.Errorf("-model and -host are required")
+	}
+	model, err := core.LoadFile(*modelPath)
+	if err != nil {
+		return err
+	}
+	nbs, err := model.MostSimilar(*host, *k)
+	if err != nil {
+		return err
+	}
+	for _, nb := range nbs {
+		fmt.Printf("%.4f  %s\n", nb.Cosine, nb.Host)
+	}
+	return nil
+}
+
+// cmdExport writes a trained model in word2vec text format.
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	modelPath := fs.String("model", "", "trained model (required)")
+	out := fs.String("out", "-", "output path ('-' for stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *modelPath == "" {
+		return fmt.Errorf("-model is required")
+	}
+	model, err := core.LoadFile(*modelPath)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return model.WriteText(w)
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"hostprof/internal/ads"
+	"hostprof/internal/core"
+	"hostprof/internal/ontology"
+	"hostprof/internal/server"
+)
+
+// cmdServe runs the profiling/ad back-end over artefacts produced by
+// `hostprof gen` (ontology + blocklist); the ad inventory is built from
+// the ontology's labelled hosts, as the paper built its database from
+// ads collected on labelled landing pages.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8420", "listen address")
+	ontPath := fs.String("ontology", "", "ontology labels JSONL (required)")
+	blPath := fs.String("blocklist", "", "optional hosts-format blocklist")
+	dim := fs.Int("dim", 64, "embedding dimensionality")
+	epochs := fs.Int("epochs", 5, "training epochs per retrain")
+	n := fs.Int("n", 40, "profiler neighbourhood size N")
+	adsSeed := fs.Uint64("ads-seed", 1, "ad inventory seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *ontPath == "" {
+		return fmt.Errorf("-ontology is required")
+	}
+
+	tax := ontology.NewTaxonomy()
+	of, err := os.Open(*ontPath)
+	if err != nil {
+		return err
+	}
+	ont, err := ontology.ReadJSONL(tax, of)
+	of.Close()
+	if err != nil {
+		return err
+	}
+
+	var bl *ontology.Blocklist
+	if *blPath != "" {
+		bf, err := os.Open(*blPath)
+		if err != nil {
+			return err
+		}
+		bl = ontology.NewBlocklist()
+		if _, err := bl.ParseHostsFile(bf); err != nil {
+			bf.Close()
+			return err
+		}
+		bf.Close()
+	}
+
+	db := ads.BuildFromOntology(ont, ads.BuildConfig{Seed: *adsSeed})
+	backend, err := server.New(server.Config{
+		Ontology:  ont,
+		AdDB:      db,
+		Blocklist: bl,
+		Train:     core.TrainConfig{Dim: *dim, Epochs: *epochs},
+		Profile:   core.ProfilerConfig{N: *n, Agg: core.AggIDF},
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("backend: %d labelled hosts, %d ads; listening on http://%s\n",
+		ont.Len(), db.Len(), *addr)
+	fmt.Println("endpoints: POST /v1/report /v1/feedback /v1/retrain; GET /v1/stats")
+	return http.ListenAndServe(*addr, backend.Handler())
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"hostprof/internal/pcap"
+	"hostprof/internal/sniffer"
+	"hostprof/internal/trace"
+)
+
+// cmdSniff reads a pcap capture and writes the extracted hostname trace.
+func cmdSniff(args []string) error {
+	fs := flag.NewFlagSet("sniff", flag.ExitOnError)
+	in := fs.String("pcap", "", "input pcap file (required)")
+	out := fs.String("out", "-", "output trace JSONL ('-' for stdout)")
+	stats := fs.Bool("stats", true, "print observer statistics to stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("-pcap is required")
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := pcap.NewReader(f)
+	if err != nil {
+		return err
+	}
+
+	obs := sniffer.NewObserver(sniffer.ObserverConfig{})
+	tr := trace.New(nil)
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if v, ok := obs.ProcessPacket(rec.Data, int64(rec.TimeSec)); ok {
+			tr.Append(v)
+		}
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		of, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer of.Close()
+		w = of
+	}
+	if err := tr.WriteJSONL(w); err != nil {
+		return err
+	}
+	if *stats {
+		st := obs.Stats
+		fmt.Fprintf(os.Stderr, "packets=%d tls=%d quic=%d dns=%d undecodable=%d flows=%d\n",
+			st.Packets, st.TLSVisits, st.QUICVisits, st.DNSVisits,
+			st.Undecodable, st.FlowsTracked)
+	}
+	return nil
+}

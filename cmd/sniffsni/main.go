@@ -1,0 +1,81 @@
+// Command sniffsni is the minimal embodiment of the paper's threat model:
+// it reads a pcap capture and prints every hostname an on-path observer
+// can extract — TLS SNI (with TCP reassembly), decrypted QUIC v1
+// Initials, DNS queries — as CSV (user,time,host) on stdout.
+//
+//	sniffsni capture.pcap
+//	sniffsni -ip-fallback capture.pcap    # also emit ip-a.b.c.d for ECH flows
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"hostprof/internal/pcap"
+	"hostprof/internal/sniffer"
+)
+
+func main() {
+	ipFallback := flag.Bool("ip-fallback", false, "emit destination-IP tokens for SNI-less (ECH) flows")
+	stats := flag.Bool("stats", true, "print observer statistics to stderr")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sniffsni [-ip-fallback] <capture.pcap>")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *ipFallback, *stats); err != nil {
+		fmt.Fprintf(os.Stderr, "sniffsni: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, ipFallback, printStats bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := pcap.NewReader(f)
+	if err != nil {
+		return err
+	}
+	obs := sniffer.NewObserver(sniffer.ObserverConfig{IPFallback: ipFallback})
+	w := csv.NewWriter(os.Stdout)
+	if err := w.Write([]string{"user", "time", "host"}); err != nil {
+		return err
+	}
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if v, ok := obs.ProcessPacket(rec.Data, int64(rec.TimeSec)); ok {
+			if err := w.Write([]string{
+				strconv.Itoa(v.User),
+				strconv.FormatInt(v.Time, 10),
+				v.Host,
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return err
+	}
+	if printStats {
+		st := obs.Stats
+		fmt.Fprintf(os.Stderr,
+			"packets=%d tls=%d quic=%d dns=%d ip-fallbacks=%d resolved=%d undecodable=%d\n",
+			st.Packets, st.TLSVisits, st.QUICVisits, st.DNSVisits,
+			st.IPFallbacks, st.ResolvedFallbacks, st.Undecodable)
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hostprof/internal/pcap"
+	"hostprof/internal/sniffer"
+	"hostprof/internal/trace"
+)
+
+func writeCapture(t *testing.T, path string, cfg sniffer.WireConfig, visits []trace.Visit) {
+	t.Helper()
+	syn := sniffer.NewSynthesizer(cfg)
+	cap, err := syn.SynthesizeTrace(trace.New(visits))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := pcap.NewWriter(f)
+	for i, frame := range cap.Packets {
+		if err := w.WriteRecord(uint32(cap.Times[i]), 0, frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExtractsVisits(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cap.pcap")
+	writeCapture(t, path, sniffer.WireConfig{Channel: sniffer.ChannelMixed, Seed: 3}, []trace.Visit{
+		{User: 1, Time: 10, Host: "one.example"},
+		{User: 2, Time: 20, Host: "two.example"},
+	})
+	// Redirect stdout to capture the CSV.
+	old := os.Stdout
+	rf, wf, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = wf
+	runErr := run(path, false, false)
+	wf.Close()
+	os.Stdout = old
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	buf := make([]byte, 4096)
+	n, _ := rf.Read(buf)
+	out := string(buf[:n])
+	for _, want := range []string{"user,time,host", "1,10,one.example", "2,20,two.example"} {
+		if !contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("/nonexistent.pcap", false, false); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.pcap")
+	if err := os.WriteFile(bad, []byte("not a pcap file at all......"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(bad, false, false); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}

@@ -1,0 +1,84 @@
+package hostprof_test
+
+import (
+	"fmt"
+
+	"hostprof"
+	"hostprof/internal/sniffer"
+	statspkg "hostprof/internal/stats"
+)
+
+// Example_profiling trains hostname embeddings on observed request
+// sequences and profiles a session consisting of a single unlabelled API
+// hostname: the embedding transfers the travel label from the sites the
+// API is co-requested with.
+func Example_profiling() {
+	corpus := [][]string{
+		{"flights.example", "api.hotels.example", "hotels.example", "flights.example"},
+		{"hotels.example", "api.hotels.example", "flights.example", "hotels.example"},
+		{"kick.example", "goal.example", "score.example", "kick.example"},
+		{"goal.example", "score.example", "kick.example", "goal.example"},
+	}
+	model, err := hostprof.Train(corpus, hostprof.TrainConfig{
+		Dim: 16, MinCount: 1, Epochs: 40, Workers: 1, Seed: 7, Subsample: -1,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	tax := hostprof.NewTaxonomy()
+	ont := hostprof.NewOntology(tax)
+	travel, _ := tax.IDByName("Travel / Air Travel")
+	v := tax.NewVector()
+	v[travel] = 1
+	ont.Add("flights.example", v)
+	soccer, _ := tax.IDByName("Sports / Soccer")
+	w := tax.NewVector()
+	w[soccer] = 1
+	ont.Add("score.example", w)
+
+	profiler := hostprof.NewProfiler(model, ont, hostprof.ProfilerConfig{N: 3})
+	profile, err := profiler.ProfileSession([]string{"api.hotels.example"})
+	if err != nil {
+		panic(err)
+	}
+	best := 0
+	for id := range profile {
+		if profile[id] > profile[best] {
+			best = id
+		}
+	}
+	fmt.Println(tax.Category(best).Name)
+	// Output: Travel / Air Travel
+}
+
+// ExampleParseSNI shows the hostname leak a network observer exploits:
+// the server name sits in cleartext at the front of every TLS connection.
+func ExampleParseSNI() {
+	rng := statspkg.NewRNG(1)
+	stream := sniffer.BuildClientHello("secret-hobby.example", rng)
+	host, err := hostprof.ParseSNI(stream)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(host)
+	// Output: secret-hobby.example
+}
+
+// ExampleParseQUICInitialSNI decrypts a QUIC v1 Initial the way an
+// on-path observer can: the protection keys derive from the packet's own
+// Destination Connection ID (RFC 9001), so "encrypted" Initials hide
+// nothing from the network.
+func ExampleParseQUICInitialSNI() {
+	rng := statspkg.NewRNG(2)
+	datagram, err := sniffer.BuildQUICInitial("video-site.example", rng)
+	if err != nil {
+		panic(err)
+	}
+	host, err := hostprof.ParseQUICInitialSNI(datagram)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(host)
+	// Output: video-site.example
+}

@@ -1,0 +1,50 @@
+// countermeasures quantifies paper Section 7.4: which user-side defences
+// actually stop a network observer from profiling. The same observer
+// pipeline (SNI extraction, QUIC decryption, DNS learning, IP fallback,
+// embedding training) runs against five traffic conditions, from plain
+// HTTPS to a Tor-like tunnel, and reports how often its inferred top
+// topic still matches what the user really browsed.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hostprof/internal/experiment"
+)
+
+func main() {
+	cfg := experiment.SmallConfig(4242)
+	fmt.Println("building world and baseline pipeline...")
+	setup, err := experiment.NewSetup(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("running the countermeasure ladder (each step replays the full")
+	fmt.Println("packet pipeline: synthesize wire -> observe -> train -> profile)...")
+	fmt.Println()
+	res, err := experiment.RunCountermeasures(setup)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	explain := map[string]string{
+		"none":        "plain HTTPS + clear DNS",
+		"doh":         "DNS-over-HTTPS (queries hidden, SNI still visible)",
+		"ech+doh":     "encrypted ClientHello + DoH (only destination IPs left)",
+		"ech+doh+cdn": "+ CDN co-hosting: sites share 4 front IPs",
+		"tor-like":    "everything tunnelled to a single relay IP",
+	}
+	fmt.Printf("%-14s %-55s %8s %10s\n", "defence", "what the observer still sees", "profiled", "ip-only")
+	for _, n := range res.Order {
+		fmt.Printf("%-14s %-55s %7.0f%% %9.0f%%\n",
+			n, explain[n], 100*res.MatchRate[n], 100*res.Fallback[n])
+	}
+	fmt.Println()
+	fmt.Println("reading: 'profiled' is how often the observer's inferred top topic")
+	fmt.Println("matches the user's actual browsing. Ad-blockers and DNS privacy do")
+	fmt.Println("not appear on this ladder at all — they never touch what the network")
+	fmt.Println("sees. Only destination-hiding (co-hosting at scale, Tor) degrades the")
+	fmt.Println("attack to chance, which is the paper's closing argument.")
+}

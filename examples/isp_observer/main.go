@@ -1,0 +1,140 @@
+// isp_observer demonstrates the full network-observer story of the
+// paper: a synthetic population browses a synthetic web; their visits are
+// rendered to real packet bytes (TCP/TLS ClientHello, QUIC v1 Initials,
+// DNS queries); an on-path observer reconstructs per-user hostname
+// sequences from the wire, trains hostname embeddings and profiles every
+// user — without ever seeing a URL or a payload byte.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"hostprof"
+	"hostprof/internal/sniffer"
+	"hostprof/internal/synth"
+)
+
+func main() {
+	// ---- The world the observer cannot see directly -----------------
+	universe := synth.NewUniverse(synth.UniverseConfig{Sites: 120, Trackers: 20, Seed: 1})
+	ontology := synth.BuildOntology(universe, synth.OntologyConfig{Coverage: 0.15, Seed: 2})
+	population := synth.NewPopulation(universe, synth.PopulationConfig{
+		Users: 10, Days: 3, Seed: 3,
+	})
+	browsing := population.Browse()
+
+	// Render browsing to the wire: 70% TLS, 20% QUIC, 10% DNS.
+	wire := sniffer.NewSynthesizer(sniffer.WireConfig{Channel: sniffer.ChannelMixed, Seed: 4})
+	capture, err := wire.SynthesizeTrace(browsing)
+	if err != nil {
+		log.Fatalf("synthesizing packets: %v", err)
+	}
+	fmt.Printf("wire: %d packets for %d hostname requests\n", capture.Len(), browsing.Len())
+
+	// ---- What the on-path observer does ------------------------------
+	blocklist := synth.BuildBlocklist(universe, 1, 5)
+	pipe, err := hostprof.NewPipeline(hostprof.PipelineConfig{
+		Ontology:  ontology,
+		Blocklist: blocklist,
+		Train: hostprof.TrainConfig{
+			Dim: 24, Epochs: 8, MinCount: 2, Workers: 1, Seed: 6, Subsample: -1,
+		},
+		Profile: hostprof.ProfilerConfig{N: 80, Agg: hostprof.AggIDF},
+	})
+	if err != nil {
+		log.Fatalf("pipeline: %v", err)
+	}
+
+	for i, frame := range capture.Packets {
+		pipe.Ingest(frame, capture.Times[i])
+	}
+	st := pipe.ObserverStats()
+	fmt.Printf("observer: %d pkts → %d TLS + %d QUIC + %d DNS hostname leaks\n",
+		st.Packets, st.TLSVisits, st.QUICVisits, st.DNSVisits)
+
+	if err := pipe.Retrain(); err != nil {
+		log.Fatalf("training: %v", err)
+	}
+	fmt.Printf("embedding: %d hostnames, %d dims\n",
+		pipe.Model().Vocab().Len(), pipe.Model().Dim())
+
+	// Profile each user at their last active moment and compare the top
+	// inferred topic with the user's (hidden) ground-truth interests.
+	tax := ontology.Taxonomy()
+	lastSeen := make(map[int]int64)
+	for _, v := range pipe.Trace().Visits() {
+		lastSeen[v.User] = v.Time
+	}
+	hits := 0
+	profiled := 0
+	for _, user := range population.Users {
+		now := lastSeen[user.ID]
+		prof, err := pipe.ProfileUser(user.ID, now)
+		if err != nil {
+			continue
+		}
+		profiled++
+		top := argmax(prof.TopLevel(tax))
+
+		// Ground truth for this window: the topics of the sites the
+		// user actually browsed in it (a session profiler is judged
+		// against the session, not lifetime interests).
+		var sessionTopics []int
+		for _, host := range pipe.Trace().Session(user.ID, now, 20*60) {
+			if h, ok := universe.HostByName(host); ok {
+				if site := universe.SiteOfHost(h.ID); site != nil {
+					sessionTopics = append(sessionTopics, site.Top)
+				}
+			}
+		}
+		match := contains(sessionTopics, top)
+		if match {
+			hits++
+		}
+		fmt.Printf("user %2d: inferred %-28q session topics %v match=%v\n",
+			user.ID, tax.TopName(top), names(tax, dedup(sessionTopics)), match)
+	}
+	fmt.Printf("=> inferred top topic matches the browsed session for %d/%d users\n", hits, profiled)
+}
+
+func dedup(xs []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func argmax(xs []float64) int {
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func names(tax *hostprof.Taxonomy, ids []int) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = tax.TopName(id)
+	}
+	sort.Strings(out)
+	return out
+}

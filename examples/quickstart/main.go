@@ -1,0 +1,83 @@
+// Quickstart: train hostname embeddings on a handful of synthetic
+// browsing sequences, then profile a session that contains only an
+// unlabelled API hostname — the paper's core trick: the embedding places
+// api.hotelsearch.example next to the labelled travel sites it is
+// co-requested with, so the session still gets a travel profile.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"hostprof"
+)
+
+func main() {
+	// Browsing sequences as a network observer would collect them:
+	// one sequence per user per day, hostnames in request order.
+	corpus := [][]string{
+		{"flights.example", "api.hotelsearch.example", "hotels.example", "flights.example", "cruises.example"},
+		{"hotels.example", "api.hotelsearch.example", "flights.example", "api.hotelsearch.example", "hotels.example"},
+		{"cruises.example", "hotels.example", "api.hotelsearch.example", "flights.example"},
+		{"kickoff.example", "goals.example", "livescores.example", "kickoff.example", "goals.example"},
+		{"goals.example", "livescores.example", "kickoff.example", "livescores.example"},
+		{"livescores.example", "kickoff.example", "goals.example", "kickoff.example"},
+	}
+
+	model, err := hostprof.Train(corpus, hostprof.TrainConfig{
+		Dim: 16, Window: 2, MinCount: 1, Epochs: 30, Workers: 1, Seed: 42,
+		Subsample: -1, // tiny corpus: keep every occurrence
+	})
+	if err != nil {
+		log.Fatalf("training: %v", err)
+	}
+
+	// A tiny ontology: only three hostnames are labelled (real-world
+	// coverage is ~10%).
+	tax := hostprof.NewTaxonomy()
+	ont := hostprof.NewOntology(tax)
+	travel, _ := tax.IDByName("Travel / Air Travel")
+	sports, _ := tax.IDByName("Sports / Soccer")
+	label := func(host string, cat int) {
+		v := tax.NewVector()
+		v[cat] = 0.9
+		ont.Add(host, v)
+	}
+	label("flights.example", travel)
+	label("hotels.example", travel)
+	label("livescores.example", sports)
+
+	profiler := hostprof.NewProfiler(model, ont, hostprof.ProfilerConfig{N: 4})
+
+	// The observer sees a session consisting of a single unlabelled
+	// API hostname.
+	session := []string{"api.hotelsearch.example"}
+	profile, err := profiler.ProfileSession(session)
+	if err != nil {
+		log.Fatalf("profiling: %v", err)
+	}
+
+	fmt.Printf("session: %v\n", session)
+	fmt.Println("top categories:")
+	type kv struct {
+		id int
+		w  float64
+	}
+	var top []kv
+	for id, w := range profile {
+		if w > 0 {
+			top = append(top, kv{id, w})
+		}
+	}
+	sort.Slice(top, func(i, j int) bool { return top[i].w > top[j].w })
+	for i, e := range top {
+		if i >= 3 {
+			break
+		}
+		fmt.Printf("  %.3f  %s\n", e.w, tax.Category(e.id).Name)
+	}
+	if len(top) > 0 && top[0].id == travel {
+		fmt.Println("=> unlabelled API endpoint correctly profiled as travel")
+	}
+}

@@ -1,0 +1,3 @@
+module hostprof
+
+go 1.22

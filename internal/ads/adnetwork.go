@@ -1,0 +1,123 @@
+package ads
+
+import (
+	"hostprof/internal/ontology"
+	"hostprof/internal/stats"
+	"hostprof/internal/synth"
+)
+
+// AdNetwork is the comparator of the paper's experiment: the "Original"
+// ads served by the advertising ecosystem. Unlike the eavesdropper, the
+// ad-network sees full URLs, cookies and cross-site identity, which we
+// model as (noisy) direct access to the user's true interest profile. Its
+// traffic mix follows Section 3: targeted ads based on the user profile,
+// contextual ads based on the page being viewed, and premium/campaign ads
+// that ignore both.
+type AdNetwork struct {
+	db  *DB
+	tax *ontology.Taxonomy
+	rng *stats.RNG
+
+	// Mix probabilities; remainder after Targeted+Contextual is
+	// premium/campaign.
+	Targeted   float64
+	Contextual float64
+	// ProfileNoise blurs the network's knowledge of user interests.
+	ProfileNoise float64
+
+	// adsByTop indexes inventory by dominant top-level topic.
+	adsByTop [][]int
+	// campaign rotates daily over random ads (premium campaigns).
+	campaignSeed uint64
+}
+
+// NewAdNetwork builds the comparator over the same inventory the
+// eavesdropper uses (the paper's replacement database was harvested from
+// ad-network ads, so the inventories coincide).
+func NewAdNetwork(db *DB, seed uint64) *AdNetwork {
+	n := &AdNetwork{
+		db:           db,
+		tax:          db.tax,
+		rng:          stats.NewRNG(seed ^ 0xada0),
+		Targeted:     0.35,
+		Contextual:   0.25,
+		ProfileNoise: 0.5,
+		campaignSeed: seed,
+	}
+	n.adsByTop = make([][]int, db.tax.NumTops())
+	for _, ad := range db.Ads() {
+		top := stats.ArgMax(ad.TopLevel)
+		if top >= 0 {
+			n.adsByTop[top] = append(n.adsByTop[top], ad.ID)
+		}
+	}
+	return n
+}
+
+// Serve picks one ad for user u viewing a page with the given ground
+// truth top-level topic on the given day.
+func (n *AdNetwork) Serve(u synth.User, pageTop int, day int) Ad {
+	r := n.rng.Float64()
+	switch {
+	case r < n.Targeted:
+		return n.serveTargeted(u)
+	case r < n.Targeted+n.Contextual:
+		return n.serveContextual(pageTop)
+	default:
+		return n.serveCampaign(day)
+	}
+}
+
+// serveTargeted picks an ad matching a noisy view of the user's
+// interests.
+func (n *AdNetwork) serveTargeted(u synth.User) Ad {
+	// Perturb interests, then sample a topic.
+	w := make([]float64, len(u.Interests))
+	var sum float64
+	for i, x := range u.Interests {
+		v := x + n.ProfileNoise*n.rng.Float64()/float64(len(w))
+		w[i] = v
+		sum += v
+	}
+	if sum == 0 {
+		return n.randomAd()
+	}
+	topic := stats.NewWeighted(n.rng.Split(), w).Draw()
+	return n.adForTopic(topic)
+}
+
+// serveContextual picks an ad matching the page's topic.
+func (n *AdNetwork) serveContextual(pageTop int) Ad {
+	if pageTop < 0 || pageTop >= len(n.adsByTop) {
+		return n.randomAd()
+	}
+	return n.adForTopic(pageTop)
+}
+
+// serveCampaign returns one of the day's premium-campaign ads; campaigns
+// change daily, which makes Figure 6b's topic mix drift over time.
+func (n *AdNetwork) serveCampaign(day int) Ad {
+	// A handful of campaign ads per day, chosen deterministically.
+	dayRng := stats.NewRNG(n.campaignSeed ^ (0x9e3779b9*uint64(day) + 0x7f4a7c15))
+	const campaigns = 5
+	pick := dayRng.Uint64() >> 1 % uint64(campaigns)
+	var id int
+	for i := uint64(0); i <= pick; i++ {
+		id = int(dayRng.Uint64() % uint64(n.db.Len()))
+	}
+	return n.db.Ad(id)
+}
+
+// adForTopic picks a random ad whose dominant topic matches, falling back
+// to the whole inventory.
+func (n *AdNetwork) adForTopic(topic int) Ad {
+	if topic >= 0 && topic < len(n.adsByTop) && len(n.adsByTop[topic]) > 0 {
+		ids := n.adsByTop[topic]
+		return n.db.Ad(ids[n.rng.Intn(len(ids))])
+	}
+	return n.randomAd()
+}
+
+func (n *AdNetwork) randomAd() Ad {
+	return n.db.Ad(n.rng.Intn(n.db.Len()))
+}

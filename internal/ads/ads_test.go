@@ -1,0 +1,246 @@
+package ads
+
+import (
+	"math"
+	"testing"
+
+	"hostprof/internal/ontology"
+	"hostprof/internal/synth"
+)
+
+// adsFixture builds a small labelled universe plus inventory.
+type adsFixture struct {
+	u   *synth.Universe
+	ont *ontology.Ontology
+	db  *DB
+}
+
+func newAdsFixture(t *testing.T) *adsFixture {
+	t.Helper()
+	u := synth.NewUniverse(synth.UniverseConfig{Sites: 150, Seed: 61})
+	ont := synth.BuildOntology(u, synth.OntologyConfig{Coverage: 0.2, Seed: 63})
+	db := BuildFromOntology(ont, BuildConfig{Seed: 65})
+	if db.Len() == 0 {
+		t.Fatal("empty inventory")
+	}
+	return &adsFixture{u: u, ont: ont, db: db}
+}
+
+func TestBuildFromOntology(t *testing.T) {
+	fx := newAdsFixture(t)
+	for _, ad := range fx.db.Ads() {
+		if !fx.ont.Covered(ad.LandingHost) {
+			t.Fatalf("ad %d lands on unlabelled host %q", ad.ID, ad.LandingHost)
+		}
+		if len(ad.TopLevel) != fx.u.Tax.NumTops() {
+			t.Fatal("top-level vector wrong size")
+		}
+		if ad.Size.W == 0 || ad.Size.H == 0 {
+			t.Fatal("ad without size")
+		}
+	}
+	// byHost index is consistent.
+	for _, host := range fx.ont.Hosts() {
+		for _, id := range fx.db.ByHost(host) {
+			if fx.db.Ad(id).LandingHost != host {
+				t.Fatal("byHost index broken")
+			}
+		}
+	}
+}
+
+func TestSelectorPicksTopicallyNearAds(t *testing.T) {
+	fx := newAdsFixture(t)
+	sel, err := NewSelector(fx.db, fx.ont, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Profile = exact category vector of one labelled host: its own
+	// ads must rank first (distance 0).
+	host := fx.ont.Hosts()[0]
+	v, _ := fx.ont.Lookup(host)
+	got := sel.Select(v, 5)
+	if len(got) == 0 {
+		t.Fatal("no ads selected")
+	}
+	if got[0].LandingHost != host {
+		t.Fatalf("nearest ad lands on %q, want %q", got[0].LandingHost, host)
+	}
+}
+
+func TestSelectorRespectsMaxAds(t *testing.T) {
+	fx := newAdsFixture(t)
+	sel, err := NewSelector(fx.db, fx.ont, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile := fx.u.Tax.NewVector()
+	got := sel.Select(profile, 7)
+	if len(got) > 7 {
+		t.Fatalf("selected %d ads, max 7", len(got))
+	}
+}
+
+func TestSelectorDefaultK(t *testing.T) {
+	fx := newAdsFixture(t)
+	sel, err := NewSelector(fx.db, fx.ont, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.K() != 20 {
+		t.Fatalf("default K = %d, want 20 (paper Section 5.4)", sel.K())
+	}
+}
+
+func TestSelectorErrorsWithoutInventory(t *testing.T) {
+	tax := ontology.NewTaxonomy()
+	ont := ontology.New(tax)
+	db := NewDB(tax)
+	if _, err := NewSelector(db, ont, 20); err == nil {
+		t.Fatal("expected error for empty inventory")
+	}
+}
+
+func TestSelectorDeterministicOrder(t *testing.T) {
+	fx := newAdsFixture(t)
+	sel, _ := NewSelector(fx.db, fx.ont, 20)
+	p := fx.u.Tax.NewVector()
+	p[3] = 0.5
+	a := sel.Select(p, 10)
+	b := sel.Select(p, 10)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic selection size")
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			t.Fatal("nondeterministic selection order")
+		}
+	}
+}
+
+func TestSizeMatch(t *testing.T) {
+	if !SizeMatch(CreativeSize{300, 250}, CreativeSize{300, 250}) {
+		t.Fatal("identical sizes must match")
+	}
+	if !SizeMatch(CreativeSize{300, 250}, CreativeSize{320, 230}) {
+		t.Fatal("within 20% must match")
+	}
+	if SizeMatch(CreativeSize{300, 250}, CreativeSize{728, 90}) {
+		t.Fatal("leaderboard should not match a rectangle")
+	}
+}
+
+func TestClickModelAffinityMonotone(t *testing.T) {
+	m := NewClickModel(0, 0, 71)
+	nTops := 34
+	interested := synth.User{Interests: make([]float64, nTops)}
+	interested.Interests[3] = 1
+	indifferent := synth.User{Interests: make([]float64, nTops)}
+	indifferent.Interests[7] = 1
+
+	ad := Ad{TopLevel: make([]float64, nTops)}
+	ad.TopLevel[3] = 1
+
+	pHigh := m.Prob(interested, ad)
+	pLow := m.Prob(indifferent, ad)
+	if pHigh <= pLow {
+		t.Fatalf("affinity did not raise click probability: %v vs %v", pHigh, pLow)
+	}
+	if pLow != m.Base {
+		t.Fatalf("zero-affinity probability %v != base %v", pLow, m.Base)
+	}
+}
+
+func TestClickModelCTRRegime(t *testing.T) {
+	// Random users on random ads should land in the paper's observed
+	// CTR band (0.07%..0.84%, Section 6.4 discussion).
+	fx := newAdsFixture(t)
+	pop := synth.NewPopulation(fx.u, synth.PopulationConfig{Users: 20, Seed: 73})
+	m := NewClickModel(0, 0, 75)
+	var ctr CTR
+	for i := 0; i < 40000; i++ {
+		u := pop.Users[i%len(pop.Users)]
+		ad := fx.db.Ad(i % fx.db.Len())
+		ctr.Observe(m.Click(u, ad))
+	}
+	pct := ctr.Percent()
+	if pct < 0.01 || pct > 1.5 {
+		t.Fatalf("baseline CTR = %.3f%%, out of plausible band", pct)
+	}
+}
+
+func TestCTRAccumulator(t *testing.T) {
+	var c CTR
+	if c.Rate() != 0 {
+		t.Fatal("empty CTR should be 0")
+	}
+	c.Observe(true)
+	c.Observe(false)
+	c.Observe(false)
+	c.Observe(false)
+	if math.Abs(c.Rate()-0.25) > 1e-12 {
+		t.Fatalf("rate = %v", c.Rate())
+	}
+	if math.Abs(c.Percent()-25) > 1e-9 {
+		t.Fatalf("percent = %v", c.Percent())
+	}
+}
+
+func TestAdNetworkServesAllMixModes(t *testing.T) {
+	fx := newAdsFixture(t)
+	net := NewAdNetwork(fx.db, 77)
+	pop := synth.NewPopulation(fx.u, synth.PopulationConfig{Users: 5, Seed: 79})
+	for i := 0; i < 500; i++ {
+		ad := net.Serve(pop.Users[i%5], i%fx.u.Tax.NumTops(), i%30)
+		if ad.LandingHost == "" {
+			t.Fatal("empty ad served")
+		}
+	}
+}
+
+func TestAdNetworkTargetingBeatsRandom(t *testing.T) {
+	// A purely targeted network should achieve higher expected affinity
+	// than random selection.
+	fx := newAdsFixture(t)
+	net := NewAdNetwork(fx.db, 81)
+	net.Targeted, net.Contextual = 1, 0
+	pop := synth.NewPopulation(fx.u, synth.PopulationConfig{Users: 10, Seed: 83})
+
+	var targeted, random float64
+	const n = 3000
+	for i := 0; i < n; i++ {
+		u := pop.Users[i%len(pop.Users)]
+		ad := net.Serve(u, 0, 0)
+		targeted += u.AffinityTo(ad.TopLevel)
+		rad := fx.db.Ad(i % fx.db.Len())
+		random += u.AffinityTo(rad.TopLevel)
+	}
+	if targeted <= random {
+		t.Fatalf("targeted affinity %.4f <= random %.4f", targeted/n, random/n)
+	}
+}
+
+func TestAdNetworkCampaignsRotateDaily(t *testing.T) {
+	fx := newAdsFixture(t)
+	net := NewAdNetwork(fx.db, 85)
+	net.Targeted, net.Contextual = 0, 0 // campaigns only
+	u := synth.User{Interests: make([]float64, fx.u.Tax.NumTops())}
+	day0 := make(map[int]bool)
+	day9 := make(map[int]bool)
+	for i := 0; i < 200; i++ {
+		day0[net.Serve(u, 0, 0).ID] = true
+		day9[net.Serve(u, 0, 9).ID] = true
+	}
+	if len(day0) > 5 || len(day9) > 5 {
+		t.Fatalf("campaign pools too large: %d, %d", len(day0), len(day9))
+	}
+	same := 0
+	for id := range day0 {
+		if day9[id] {
+			same++
+		}
+	}
+	if same == len(day0) && same == len(day9) {
+		t.Fatal("campaigns identical across days")
+	}
+}

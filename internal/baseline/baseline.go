@@ -1,0 +1,154 @@
+// Package baseline provides the comparator profilers the evaluation
+// measures the paper's algorithm against:
+//
+//   - OntologyOnly: what a network observer can do *without* embeddings —
+//     only hostnames the ontology covers contribute (the paper's
+//     motivation: coverage is ~10%, so most sessions are blind spots).
+//   - Oracle: the over-the-top / ad-network view — full ground truth for
+//     every first-party page the user loads, the upper bound.
+//   - Random: a profiler that knows nothing, the lower bound.
+//
+// All satisfy the same SessionProfiler interface as core.Profiler.
+package baseline
+
+import (
+	"hostprof/internal/core"
+	"hostprof/internal/ontology"
+	"hostprof/internal/stats"
+	"hostprof/internal/synth"
+)
+
+// SessionProfiler is the common contract: hostname session in, category
+// vector out.
+type SessionProfiler interface {
+	ProfileSession(hosts []string) (ontology.Vector, error)
+}
+
+// Interface checks.
+var (
+	_ SessionProfiler = (*core.Profiler)(nil)
+	_ SessionProfiler = (*OntologyOnly)(nil)
+	_ SessionProfiler = (*Oracle)(nil)
+	_ SessionProfiler = (*Random)(nil)
+)
+
+// OntologyOnly averages the ontology vectors of the session's labelled
+// hosts; unlabelled hosts (the vast majority under realistic coverage)
+// contribute nothing.
+type OntologyOnly struct {
+	ont *ontology.Ontology
+}
+
+// NewOntologyOnly returns the coverage-limited baseline.
+func NewOntologyOnly(ont *ontology.Ontology) *OntologyOnly {
+	return &OntologyOnly{ont: ont}
+}
+
+// ProfileSession implements SessionProfiler. It returns core.ErrNoLabels
+// when no session host is covered, and core.ErrEmptySession for empty
+// input, matching the main profiler's contract.
+func (p *OntologyOnly) ProfileSession(hosts []string) (ontology.Vector, error) {
+	if len(hosts) == 0 {
+		return nil, core.ErrEmptySession
+	}
+	out := p.ont.Taxonomy().NewVector()
+	seen := make(map[string]bool)
+	n := 0
+	for _, h := range hosts {
+		if seen[h] {
+			continue
+		}
+		seen[h] = true
+		v, ok := p.ont.Lookup(h)
+		if !ok {
+			continue
+		}
+		for i, x := range v {
+			out[i] += x
+		}
+		n++
+	}
+	if n == 0 {
+		return nil, core.ErrNoLabels
+	}
+	inv := 1 / float64(n)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out, nil
+}
+
+// Oracle averages the *ground-truth* categories of every session host
+// that belongs to a site (support hosts inherit their site's categories).
+// This models the unrestricted view of an OTT provider or the user's own
+// browser extension.
+type Oracle struct {
+	u *synth.Universe
+}
+
+// NewOracle returns the full-visibility upper bound.
+func NewOracle(u *synth.Universe) *Oracle { return &Oracle{u: u} }
+
+// ProfileSession implements SessionProfiler.
+func (p *Oracle) ProfileSession(hosts []string) (ontology.Vector, error) {
+	if len(hosts) == 0 {
+		return nil, core.ErrEmptySession
+	}
+	out := p.u.Tax.NewVector()
+	seen := make(map[string]bool)
+	n := 0
+	for _, hn := range hosts {
+		if seen[hn] {
+			continue
+		}
+		seen[hn] = true
+		h, ok := p.u.HostByName(hn)
+		if !ok {
+			continue
+		}
+		truth := p.u.GroundTruthCategories(h.ID)
+		if truth == nil {
+			continue
+		}
+		for i, x := range truth {
+			out[i] += x
+		}
+		n++
+	}
+	if n == 0 {
+		return nil, core.ErrNoLabels
+	}
+	inv := 1 / float64(n)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out, nil
+}
+
+// Random emits a fresh random category vector per session: the
+// no-knowledge lower bound.
+type Random struct {
+	tax *ontology.Taxonomy
+	rng *stats.RNG
+	// Sparsity is the expected fraction of non-zero categories.
+	Sparsity float64
+}
+
+// NewRandom returns the lower-bound profiler.
+func NewRandom(tax *ontology.Taxonomy, seed uint64) *Random {
+	return &Random{tax: tax, rng: stats.NewRNG(seed ^ 0x4a4d), Sparsity: 0.01}
+}
+
+// ProfileSession implements SessionProfiler.
+func (p *Random) ProfileSession(hosts []string) (ontology.Vector, error) {
+	if len(hosts) == 0 {
+		return nil, core.ErrEmptySession
+	}
+	out := p.tax.NewVector()
+	for i := range out {
+		if p.rng.Float64() < p.Sparsity {
+			out[i] = p.rng.Float64()
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,132 @@
+package baseline
+
+import (
+	"errors"
+	"testing"
+
+	"hostprof/internal/core"
+	"hostprof/internal/ontology"
+	"hostprof/internal/synth"
+)
+
+func fixture(t *testing.T) (*synth.Universe, *ontology.Ontology) {
+	t.Helper()
+	u := synth.NewUniverse(synth.UniverseConfig{Sites: 120, Seed: 91})
+	ont := synth.BuildOntology(u, synth.OntologyConfig{Coverage: 0.2, Seed: 93})
+	return u, ont
+}
+
+func TestOntologyOnlyAveragesLabels(t *testing.T) {
+	u, ont := fixture(t)
+	p := NewOntologyOnly(ont)
+	hosts := ont.Hosts()
+	prof, err := p.ProfileSession([]string{hosts[0], hosts[1], "unknown.example"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prof.Valid() {
+		t.Fatal("profile out of range")
+	}
+	v0, _ := ont.Lookup(hosts[0])
+	v1, _ := ont.Lookup(hosts[1])
+	for i := range prof {
+		want := (v0[i] + v1[i]) / 2
+		if diff := prof[i] - want; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("category %d = %v, want %v", i, prof[i], want)
+		}
+	}
+	_ = u
+}
+
+func TestOntologyOnlyDedups(t *testing.T) {
+	_, ont := fixture(t)
+	p := NewOntologyOnly(ont)
+	h := ont.Hosts()[0]
+	once, err := p.ProfileSession([]string{h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	thrice, err := p.ProfileSession([]string{h, h, h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range once {
+		if once[i] != thrice[i] {
+			t.Fatal("repeat visits changed the profile")
+		}
+	}
+}
+
+func TestOntologyOnlyErrors(t *testing.T) {
+	_, ont := fixture(t)
+	p := NewOntologyOnly(ont)
+	if _, err := p.ProfileSession(nil); !errors.Is(err, core.ErrEmptySession) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := p.ProfileSession([]string{"nope.example"}); !errors.Is(err, core.ErrNoLabels) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOracleUsesGroundTruth(t *testing.T) {
+	u, _ := fixture(t)
+	p := NewOracle(u)
+	site := u.Sites[0]
+	// Oracle sees support hosts too.
+	prof, err := p.ProfileSession([]string{u.Hosts[site.Support[0]].Name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range prof {
+		if prof[i] != site.Categories[i] {
+			t.Fatal("oracle did not return ground truth")
+		}
+	}
+}
+
+func TestOracleIgnoresTrackers(t *testing.T) {
+	u, _ := fixture(t)
+	p := NewOracle(u)
+	trackerName := u.Hosts[u.TrackerIDs[0]].Name
+	if _, err := p.ProfileSession([]string{trackerName}); !errors.Is(err, core.ErrNoLabels) {
+		t.Fatalf("err = %v", err)
+	}
+	site := u.Sites[3]
+	prof, err := p.ProfileSession([]string{trackerName, u.Hosts[site.Host].Name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range prof {
+		if prof[i] != site.Categories[i] {
+			t.Fatal("tracker contaminated oracle profile")
+		}
+	}
+}
+
+func TestRandomProfilerShape(t *testing.T) {
+	u, _ := fixture(t)
+	p := NewRandom(u.Tax, 99)
+	prof, err := p.ProfileSession([]string{"whatever.example"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof) != u.Tax.NumCategories() || !prof.Valid() {
+		t.Fatal("bad random profile")
+	}
+	if _, err := p.ProfileSession(nil); !errors.Is(err, core.ErrEmptySession) {
+		t.Fatalf("err = %v", err)
+	}
+	// Two sessions differ (overwhelmingly likely).
+	a, _ := p.ProfileSession([]string{"x"})
+	b, _ := p.ProfileSession([]string{"x"})
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("random profiler is constant")
+	}
+}

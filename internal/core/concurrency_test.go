@@ -1,0 +1,80 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"hostprof/internal/ontology"
+	"hostprof/internal/stats"
+)
+
+// A trained model must serve similarity queries and session profiles from
+// many goroutines at once (the back-end profiles every reporting user
+// concurrently).
+func TestModelConcurrentQueries(t *testing.T) {
+	rng := stats.NewRNG(71)
+	corpus, ta, _ := topicCorpus(rng, 8, 200, 10)
+	m, err := Train(corpus, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := m.MostSimilar(ta[(g+i)%len(ta)], 3); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestProfilerConcurrentSessions(t *testing.T) {
+	rng := stats.NewRNG(73)
+	corpus, ta, tb := topicCorpus(rng, 10, 300, 10)
+	m, err := Train(corpus, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tax := ontology.NewTaxonomy()
+	ont := ontology.New(tax)
+	for i := 0; i < 5; i++ {
+		va := tax.NewVector()
+		va[0] = 1
+		ont.Add(ta[i], va)
+		vb := tax.NewVector()
+		vb[1] = 1
+		ont.Add(tb[i], vb)
+	}
+	p := NewProfiler(m, ont, ProfilerConfig{N: 20})
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				session := []string{ta[(g+i)%len(ta)], tb[(g+2*i)%len(tb)]}
+				if _, err := p.ProfileSession(session); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,417 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"hostprof/internal/stats"
+)
+
+// TrainConfig holds the SKIPGRAM hyperparameters. The defaults mirror the
+// gensim defaults the paper used (Section 5.4): d=100, window 5 (m=2),
+// K=5 negative samples.
+type TrainConfig struct {
+	// Dim is the embedding dimensionality d. Default 100.
+	Dim int
+	// Window is the half window m: context positions up to m before and
+	// after the centre are predicted (window length 2m+1 = 5 in the
+	// paper). Per the original word2vec, the effective half window for
+	// each centre is drawn uniformly from [1, Window]. Default 2.
+	Window int
+	// Negative is K, the number of negative samples per context pair,
+	// drawn from the empirical unigram distribution P_D raised to
+	// UnigramPower. Default 5.
+	Negative int
+	// UnigramPower is the exponent applied to unigram counts for the
+	// noise distribution. Default 0.75.
+	UnigramPower float64
+	// Subsample is the frequent-host subsampling threshold (gensim's
+	// `sample`); 0 disables. Default 1e-3.
+	Subsample float64
+	// MinCount drops hostnames seen fewer times. Default 5.
+	MinCount int
+	// Epochs is the number of passes over the corpus. Default 5.
+	Epochs int
+	// LR and MinLR bound the linearly decayed learning rate.
+	// Defaults 0.025 and 1e-4.
+	LR, MinLR float64
+	// Workers is the number of concurrent trainer goroutines. With more
+	// than one worker, weight updates follow the standard lock-free
+	// Hogwild scheme used by word2vec/gensim: concurrent updates may
+	// race benignly, trading bit-level determinism for throughput.
+	// Default 1 (fully deterministic).
+	Workers int
+	// Seed seeds all training randomness.
+	Seed uint64
+}
+
+// withDefaults returns cfg with zero fields replaced by defaults.
+func (c TrainConfig) withDefaults() TrainConfig {
+	if c.Dim <= 0 {
+		c.Dim = 100
+	}
+	if c.Window <= 0 {
+		c.Window = 2
+	}
+	if c.Negative <= 0 {
+		c.Negative = 5
+	}
+	if c.UnigramPower == 0 {
+		c.UnigramPower = 0.75
+	}
+	if c.Subsample == 0 {
+		c.Subsample = 1e-3
+	}
+	if c.MinCount <= 0 {
+		c.MinCount = 5
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 5
+	}
+	if c.LR <= 0 {
+		c.LR = 0.025
+	}
+	if c.MinLR <= 0 {
+		c.MinLR = 1e-4
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Model holds the learned hostname representations: the central embeddings
+// W (paper's h) and the context embeddings W' (paper's h'). Central
+// embeddings are what downstream profiling consumes.
+type Model struct {
+	vocab *Vocab
+	dim   int
+	in    []float64 // |H| × dim central representations, row-major
+	out   []float64 // |H| × dim context representations, row-major
+
+	// normed caches unit-normalized central vectors for similarity
+	// search; built lazily by ensureIndex.
+	normed   []float64
+	normOnce sync.Once
+}
+
+// ErrEmptyCorpus is returned when no trainable sequences remain after
+// vocabulary pruning.
+var ErrEmptyCorpus = errors.New("core: empty corpus after vocabulary pruning")
+
+// Train learns hostname embeddings from a corpus of request sequences
+// (one sequence per user per collection interval) by minimizing the
+// negative-sampling objective of Equation (2) with SGD.
+func Train(corpus [][]string, cfg TrainConfig) (*Model, error) {
+	cfg = cfg.withDefaults()
+	vocab := BuildVocab(corpus, cfg.MinCount)
+	if vocab.Len() == 0 {
+		return nil, ErrEmptyCorpus
+	}
+
+	// Re-encode the corpus as dense IDs, dropping out-of-vocab tokens.
+	encoded := make([][]int32, 0, len(corpus))
+	var tokens int64
+	for _, seq := range corpus {
+		ids := make([]int32, 0, len(seq))
+		for _, h := range seq {
+			if id, ok := vocab.ID(h); ok {
+				ids = append(ids, int32(id))
+			}
+		}
+		if len(ids) >= 2 {
+			encoded = append(encoded, ids)
+			tokens += int64(len(ids))
+		}
+	}
+	if len(encoded) == 0 {
+		return nil, ErrEmptyCorpus
+	}
+
+	m := &Model{vocab: vocab, dim: cfg.Dim}
+	m.in = make([]float64, vocab.Len()*cfg.Dim)
+	m.out = make([]float64, vocab.Len()*cfg.Dim)
+	init := stats.NewRNG(cfg.Seed)
+	for i := range m.in {
+		m.in[i] = (init.Float64() - 0.5) / float64(cfg.Dim)
+	}
+
+	// Noise distribution: counts^power, sampled by binary search over
+	// the CDF (equivalent to word2vec's unigram table, exact instead of
+	// discretized).
+	noise := make([]float64, vocab.Len())
+	for i := range noise {
+		noise[i] = math.Pow(float64(vocab.Count(i)), cfg.UnigramPower)
+	}
+
+	// Subsampling keep-probabilities (word2vec formula).
+	keep := make([]float64, vocab.Len())
+	for i := range keep {
+		if cfg.Subsample <= 0 {
+			keep[i] = 1
+			continue
+		}
+		f := float64(vocab.Count(i)) / float64(vocab.Total())
+		p := (math.Sqrt(f/cfg.Subsample) + 1) * cfg.Subsample / f
+		if p > 1 {
+			p = 1
+		}
+		keep[i] = p
+	}
+
+	totalWork := tokens * int64(cfg.Epochs)
+	var done atomic.Int64
+
+	workers := cfg.Workers
+	if workers > len(encoded) {
+		workers = len(encoded)
+	}
+	if raceDetectorEnabled {
+		// Hogwild's benign weight races trip the race detector; run
+		// single-threaded under -race (see race_on.go).
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tr := &trainer{
+				m:     m,
+				cfg:   cfg,
+				rng:   stats.NewRNG(cfg.Seed ^ (0x9e37*uint64(w) + 1)),
+				noise: stats.NewWeighted(stats.NewRNG(cfg.Seed+uint64(w)*7919+13), noise),
+				keep:  keep,
+				neu1e: make([]float64, cfg.Dim),
+			}
+			for epoch := 0; epoch < cfg.Epochs; epoch++ {
+				for s := w; s < len(encoded); s += workers {
+					seq := encoded[s]
+					progress := float64(done.Add(int64(len(seq)))) / float64(totalWork)
+					lr := cfg.LR * (1 - progress)
+					if lr < cfg.MinLR {
+						lr = cfg.MinLR
+					}
+					tr.trainSequence(seq, lr)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return m, nil
+}
+
+// trainer holds per-worker training state.
+type trainer struct {
+	m     *Model
+	cfg   TrainConfig
+	rng   *stats.RNG
+	noise *stats.Weighted
+	keep  []float64
+	neu1e []float64 // gradient accumulator for the centre vector
+}
+
+// trainSequence applies one pass of skip-gram negative sampling over a
+// single encoded sequence at learning rate lr.
+func (t *trainer) trainSequence(seq []int32, lr float64) {
+	// Subsample frequent hosts first, as word2vec does, so the window
+	// spans the retained subsequence.
+	kept := seq
+	if t.cfg.Subsample > 0 {
+		kept = kept[:0:0]
+		for _, id := range seq {
+			if t.keep[id] >= 1 || t.rng.Float64() < t.keep[id] {
+				kept = append(kept, id)
+			}
+		}
+		if len(kept) < 2 {
+			return
+		}
+	}
+	dim := t.m.dim
+	for c := range kept {
+		centre := int(kept[c])
+		// Random window shrink: uniform in [1, Window].
+		b := 1 + t.rng.Intn(t.cfg.Window)
+		lo := c - b
+		if lo < 0 {
+			lo = 0
+		}
+		hi := c + b
+		if hi >= len(kept) {
+			hi = len(kept) - 1
+		}
+		cvec := t.m.in[centre*dim : centre*dim+dim]
+		for j := lo; j <= hi; j++ {
+			if j == c {
+				continue
+			}
+			ctx := int(kept[j])
+			for i := range t.neu1e {
+				t.neu1e[i] = 0
+			}
+			// One positive pair plus K negatives.
+			for k := 0; k <= t.cfg.Negative; k++ {
+				var target int
+				var label float64
+				if k == 0 {
+					target, label = ctx, 1
+				} else {
+					target = t.noise.Draw()
+					if target == ctx {
+						continue
+					}
+					label = 0
+				}
+				ovec := t.m.out[target*dim : target*dim+dim]
+				g := (label - stats.Sigmoid(stats.Dot(cvec, ovec))) * lr
+				stats.AXPY(g, ovec, t.neu1e)
+				stats.AXPY(g, cvec, ovec)
+			}
+			stats.AXPY(1, t.neu1e, cvec)
+		}
+	}
+}
+
+// Vocab returns the model's vocabulary.
+func (m *Model) Vocab() *Vocab { return m.vocab }
+
+// Dim returns the embedding dimensionality d.
+func (m *Model) Dim() int { return m.dim }
+
+// Vector returns the central embedding of host. The returned slice aliases
+// model storage and must not be modified.
+func (m *Model) Vector(host string) ([]float64, bool) {
+	id, ok := m.vocab.ID(host)
+	if !ok {
+		return nil, false
+	}
+	return m.in[id*m.dim : id*m.dim+m.dim], true
+}
+
+// VectorByID returns the central embedding for a vocabulary index. The
+// returned slice aliases model storage and must not be modified.
+func (m *Model) VectorByID(id int) []float64 {
+	return m.in[id*m.dim : id*m.dim+m.dim]
+}
+
+// ContextVectorByID returns the context embedding h' for a vocabulary
+// index; exposed for tests and diagnostics.
+func (m *Model) ContextVectorByID(id int) []float64 {
+	return m.out[id*m.dim : id*m.dim+m.dim]
+}
+
+// ensureIndex builds the unit-normalized copy of the central embeddings
+// used by similarity search.
+func (m *Model) ensureIndex() {
+	m.normOnce.Do(func() {
+		m.normed = append([]float64(nil), m.in...)
+		for id := 0; id < m.vocab.Len(); id++ {
+			stats.Normalize(m.normed[id*m.dim : id*m.dim+m.dim])
+		}
+	})
+}
+
+// Similarity returns the cosine similarity between the embeddings of two
+// hosts, or an error if either is out of vocabulary.
+func (m *Model) Similarity(a, b string) (float64, error) {
+	va, ok := m.Vector(a)
+	if !ok {
+		return 0, fmt.Errorf("core: host %q not in vocabulary", a)
+	}
+	vb, ok := m.Vector(b)
+	if !ok {
+		return 0, fmt.Errorf("core: host %q not in vocabulary", b)
+	}
+	return stats.Cosine(va, vb), nil
+}
+
+// Neighbour is one result of a nearest-neighbour query.
+type Neighbour struct {
+	ID     int
+	Host   string
+	Cosine float64
+}
+
+// NearestToVector returns the k vocabulary hosts whose central embeddings
+// have the highest cosine similarity to query, in decreasing order.
+// exclude, if non-nil, suppresses specific vocabulary IDs (e.g. the query
+// host itself).
+func (m *Model) NearestToVector(query []float64, k int, exclude map[int]bool) []Neighbour {
+	if k <= 0 {
+		return nil
+	}
+	m.ensureIndex()
+	qn := append([]float64(nil), query...)
+	if stats.Normalize(qn) == 0 {
+		return nil
+	}
+	// Bounded min-heap over cosine.
+	h := make([]Neighbour, 0, k+1)
+	push := func(n Neighbour) {
+		h = append(h, n)
+		// Sift up.
+		i := len(h) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if h[p].Cosine <= h[i].Cosine {
+				break
+			}
+			h[p], h[i] = h[i], h[p]
+			i = p
+		}
+	}
+	pop := func() {
+		n := len(h) - 1
+		h[0] = h[n]
+		h = h[:n]
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			s := i
+			if l < n && h[l].Cosine < h[s].Cosine {
+				s = l
+			}
+			if r < n && h[r].Cosine < h[s].Cosine {
+				s = r
+			}
+			if s == i {
+				break
+			}
+			h[i], h[s] = h[s], h[i]
+			i = s
+		}
+	}
+	for id := 0; id < m.vocab.Len(); id++ {
+		if exclude != nil && exclude[id] {
+			continue
+		}
+		cos := stats.Dot(qn, m.normed[id*m.dim:id*m.dim+m.dim])
+		if len(h) < k {
+			push(Neighbour{ID: id, Cosine: cos})
+		} else if cos > h[0].Cosine {
+			pop()
+			push(Neighbour{ID: id, Cosine: cos})
+		}
+	}
+	sort.Slice(h, func(i, j int) bool { return h[i].Cosine > h[j].Cosine })
+	for i := range h {
+		h[i].Host = m.vocab.Host(h[i].ID)
+	}
+	return h
+}
+
+// MostSimilar returns the k nearest hosts to the given host, excluding the
+// host itself.
+func (m *Model) MostSimilar(host string, k int) ([]Neighbour, error) {
+	id, ok := m.vocab.ID(host)
+	if !ok {
+		return nil, fmt.Errorf("core: host %q not in vocabulary", host)
+	}
+	return m.NearestToVector(m.VectorByID(id), k, map[int]bool{id: true}), nil
+}

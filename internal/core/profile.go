@@ -1,0 +1,216 @@
+package core
+
+import (
+	"errors"
+	"math"
+
+	"hostprof/internal/ontology"
+	"hostprof/internal/stats"
+)
+
+// Aggregation selects the function g that folds the embeddings of a
+// session's hostnames into a single session representation s (Section 4.1
+// leaves g as a design choice; the ablation benches compare them).
+type Aggregation int
+
+// Supported aggregation functions.
+const (
+	// AggMean averages host embeddings (the default).
+	AggMean Aggregation = iota
+	// AggSum sums host embeddings.
+	AggSum
+	// AggIDF weights each host embedding by log(total/count), damping
+	// ubiquitous hosts such as CDNs and portals.
+	AggIDF
+)
+
+// ProfilerConfig tunes the session-profiling algorithm.
+type ProfilerConfig struct {
+	// N is the number of nearest hostnames retrieved around the session
+	// representation (paper: N = 1000).
+	N int
+	// Agg is the aggregation function g. Default AggMean.
+	Agg Aggregation
+	// DedupFirstVisit drops repeat visits of a hostname within the
+	// session, keeping the first, as the paper does to damp interactive
+	// services (Section 4.1). Default true (set SkipDedup to disable).
+	SkipDedup bool
+}
+
+// Profiler turns hostname sessions into category vectors using a trained
+// embedding model plus a partial ontology — the complete pipeline of
+// paper Section 4.1.
+type Profiler struct {
+	model *Model
+	ont   *ontology.Ontology
+	cfg   ProfilerConfig
+
+	// labelledIDs are vocabulary IDs with ontology coverage (H_L ∩ H).
+	labelledIDs map[int]ontology.Vector
+	idf         []float64
+}
+
+// Profiler errors.
+var (
+	// ErrEmptySession is returned when the session has no usable hosts;
+	// the paper's algorithm is only defined for non-empty sessions.
+	ErrEmptySession = errors.New("core: empty session")
+	// ErrNoLabels is returned when neither the session nor its embedding
+	// neighbourhood contains any ontology-labelled host, so Equation (4)
+	// is undefined (zero denominator).
+	ErrNoLabels = errors.New("core: no labelled hosts reachable from session")
+)
+
+// NewProfiler builds a profiler over a trained model and an ontology.
+func NewProfiler(m *Model, ont *ontology.Ontology, cfg ProfilerConfig) *Profiler {
+	if cfg.N <= 0 {
+		cfg.N = 1000
+	}
+	p := &Profiler{
+		model:       m,
+		ont:         ont,
+		cfg:         cfg,
+		labelledIDs: make(map[int]ontology.Vector),
+	}
+	for id := 0; id < m.Vocab().Len(); id++ {
+		if v, ok := ont.Lookup(m.Vocab().Host(id)); ok {
+			p.labelledIDs[id] = v
+		}
+	}
+	if cfg.Agg == AggIDF {
+		p.idf = make([]float64, m.Vocab().Len())
+		total := float64(m.Vocab().Total())
+		for id := range p.idf {
+			p.idf[id] = logIDF(total, float64(m.Vocab().Count(id)))
+		}
+	}
+	return p
+}
+
+// logIDF returns ln(total/count) floored at a small positive value, so
+// ubiquitous hosts still contribute to the session vector, just weakly.
+func logIDF(total, count float64) float64 {
+	if count <= 0 {
+		return 0
+	}
+	if r := total / count; r > 1 {
+		return math.Log(r)
+	}
+	return 0.01
+}
+
+// Model returns the underlying embedding model.
+func (p *Profiler) Model() *Model { return p.model }
+
+// Ontology returns the ontology used for label transfer.
+func (p *Profiler) Ontology() *ontology.Ontology { return p.ont }
+
+// SessionVector computes the aggregated representation s of a session (the
+// vector g({h : h ∈ s})). Hosts outside the vocabulary are ignored. The
+// second return value is the number of in-vocabulary hosts used.
+func (p *Profiler) SessionVector(hosts []string) ([]float64, int) {
+	dim := p.model.Dim()
+	s := make([]float64, dim)
+	n := 0
+	for _, h := range hosts {
+		id, ok := p.model.Vocab().ID(h)
+		if !ok {
+			continue
+		}
+		w := 1.0
+		if p.cfg.Agg == AggIDF {
+			w = p.idf[id]
+		}
+		stats.AXPY(w, p.model.VectorByID(id), s)
+		n++
+	}
+	if n == 0 {
+		return s, 0
+	}
+	if p.cfg.Agg == AggMean {
+		stats.Scale(1/float64(n), s)
+	}
+	return s, n
+}
+
+// dedupFirst keeps the first occurrence of every host, preserving order.
+func dedupFirst(hosts []string) []string {
+	seen := make(map[string]bool, len(hosts))
+	out := make([]string, 0, len(hosts))
+	for _, h := range hosts {
+		if seen[h] {
+			continue
+		}
+		seen[h] = true
+		out = append(out, h)
+	}
+	return out
+}
+
+// ProfileSession computes the category vector c^{s_u^T} of a session
+// (Equations 3 and 4): hostnames labelled by the ontology contribute with
+// weight 1; the N nearest vocabulary hosts to the session representation
+// contribute with weight [cos(s, h)]_+ when labelled.
+func (p *Profiler) ProfileSession(hosts []string) (ontology.Vector, error) {
+	if !p.cfg.SkipDedup {
+		hosts = dedupFirst(hosts)
+	}
+	if len(hosts) == 0 {
+		return nil, ErrEmptySession
+	}
+
+	sVec, inVocab := p.SessionVector(hosts)
+
+	// L: labelled hosts appearing in the session (whether or not they
+	// made it into the vocabulary — the observer knows their names).
+	type contrib struct {
+		alpha float64
+		vec   ontology.Vector
+	}
+	contribs := make(map[string]contrib)
+	for _, h := range hosts {
+		if v, ok := p.ont.Lookup(h); ok {
+			contribs[h] = contrib{alpha: 1, vec: v} // Eq. (3), h ∈ L
+		}
+	}
+
+	if inVocab > 0 {
+		// H_{s}: the N nearest hosts to the session representation.
+		for _, nb := range p.model.NearestToVector(sVec, p.cfg.N, nil) {
+			v, ok := p.labelledIDs[nb.ID]
+			if !ok {
+				continue // unlabelled neighbours carry no categories
+			}
+			if _, inSession := contribs[nb.Host]; inSession {
+				continue // session membership dominates (alpha = 1)
+			}
+			alpha := stats.SumPositive(nb.Cosine) // Eq. (3), otherwise
+			if alpha > 0 {
+				contribs[nb.Host] = contrib{alpha: alpha, vec: v}
+			}
+		}
+	}
+
+	if len(contribs) == 0 {
+		if inVocab == 0 && len(hosts) > 0 {
+			// Session contained only unknown hosts.
+			return nil, ErrNoLabels
+		}
+		return nil, ErrNoLabels
+	}
+
+	// Eq. (4): weighted average of category vectors.
+	out := p.ont.Taxonomy().NewVector()
+	var denom float64
+	for _, c := range contribs {
+		denom += c.alpha
+	}
+	for _, c := range contribs {
+		w := c.alpha / denom
+		for i, x := range c.vec {
+			out[i] += w * x
+		}
+	}
+	out.Clamp() // guard accumulated rounding just above 1
+	return out, nil
+}

@@ -1,0 +1,11 @@
+//go:build race
+
+package core
+
+// raceDetectorEnabled reports whether this binary was built with the race
+// detector. Hogwild training intentionally lets workers race on the
+// shared weight matrices (the standard word2vec/gensim scheme — updates
+// are sparse and collisions statistically negligible), which the detector
+// would flag; under -race, Train falls back to a single worker so the
+// rest of the test suite stays meaningfully checkable.
+const raceDetectorEnabled = true

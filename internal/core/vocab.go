@@ -1,0 +1,100 @@
+// Package core implements the paper's primary contribution (Section 4.1):
+// SKIPGRAM representation learning over hostname request sequences with
+// negative sampling (Equations 1 and 2), and the session-profiling
+// algorithm that transfers ontology categories to unlabelled hostnames via
+// N-nearest-neighbour search in embedding space (Equations 3 and 4).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Vocab maps hostnames to dense indices and records corpus frequencies.
+// The set of all hosts H in the paper's notation.
+type Vocab struct {
+	hosts  []string
+	index  map[string]int
+	counts []int64
+	total  int64
+}
+
+// BuildVocab scans the corpus and keeps every hostname appearing at least
+// minCount times (gensim's default is 5). Hostnames are indexed by
+// decreasing frequency (ties broken lexicographically), which keeps the
+// negative-sampling CDF cache-friendly.
+func BuildVocab(corpus [][]string, minCount int) *Vocab {
+	if minCount < 1 {
+		minCount = 1
+	}
+	freq := make(map[string]int64)
+	for _, seq := range corpus {
+		for _, h := range seq {
+			freq[h]++
+		}
+	}
+	type hc struct {
+		h string
+		c int64
+	}
+	kept := make([]hc, 0, len(freq))
+	for h, c := range freq {
+		if c >= int64(minCount) {
+			kept = append(kept, hc{h, c})
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		if kept[i].c != kept[j].c {
+			return kept[i].c > kept[j].c
+		}
+		return kept[i].h < kept[j].h
+	})
+	v := &Vocab{
+		hosts:  make([]string, len(kept)),
+		index:  make(map[string]int, len(kept)),
+		counts: make([]int64, len(kept)),
+	}
+	for i, e := range kept {
+		v.hosts[i] = e.h
+		v.index[e.h] = i
+		v.counts[i] = e.c
+		v.total += e.c
+	}
+	return v
+}
+
+// Len returns the vocabulary size |H|.
+func (v *Vocab) Len() int { return len(v.hosts) }
+
+// ID returns the dense index of host and whether it is in vocabulary.
+func (v *Vocab) ID(host string) (int, bool) {
+	id, ok := v.index[host]
+	return id, ok
+}
+
+// Host returns the hostname with dense index id.
+func (v *Vocab) Host(id int) string { return v.hosts[id] }
+
+// Count returns the corpus frequency of the host with index id.
+func (v *Vocab) Count(id int) int64 { return v.counts[id] }
+
+// Total returns the total number of kept tokens in the corpus.
+func (v *Vocab) Total() int64 { return v.total }
+
+// Hosts returns the hostname list in index order. Callers must not modify
+// the returned slice.
+func (v *Vocab) Hosts() []string { return v.hosts }
+
+// validate checks internal consistency; used by Load.
+func (v *Vocab) validate() error {
+	if len(v.hosts) != len(v.counts) {
+		return errors.New("core: vocab hosts/counts length mismatch")
+	}
+	for i, h := range v.hosts {
+		if j, ok := v.index[h]; !ok || j != i {
+			return fmt.Errorf("core: vocab index inconsistent at %d (%q)", i, h)
+		}
+	}
+	return nil
+}

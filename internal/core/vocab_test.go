@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildVocabCountsAndOrder(t *testing.T) {
+	corpus := [][]string{
+		{"a.example", "b.example", "a.example"},
+		{"a.example", "c.example", "b.example"},
+	}
+	v := BuildVocab(corpus, 1)
+	if v.Len() != 3 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+	// a appears 3x, b 2x, c 1x; ordering by decreasing count.
+	if v.Host(0) != "a.example" || v.Host(1) != "b.example" || v.Host(2) != "c.example" {
+		t.Fatalf("order = %v", v.Hosts())
+	}
+	if v.Count(0) != 3 || v.Count(1) != 2 || v.Count(2) != 1 {
+		t.Fatal("counts wrong")
+	}
+	if v.Total() != 6 {
+		t.Fatalf("total = %d", v.Total())
+	}
+	id, ok := v.ID("b.example")
+	if !ok || id != 1 {
+		t.Fatalf("ID(b) = %d,%v", id, ok)
+	}
+	if _, ok := v.ID("missing.example"); ok {
+		t.Fatal("missing host found")
+	}
+}
+
+func TestBuildVocabMinCount(t *testing.T) {
+	corpus := [][]string{{"x", "x", "x", "y", "y", "z"}}
+	v := BuildVocab(corpus, 2)
+	if v.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (z pruned)", v.Len())
+	}
+	if _, ok := v.ID("z"); ok {
+		t.Fatal("rare host not pruned")
+	}
+}
+
+func TestBuildVocabTieBreakLexicographic(t *testing.T) {
+	corpus := [][]string{{"b", "a", "c"}}
+	v := BuildVocab(corpus, 1)
+	if v.Host(0) != "a" || v.Host(1) != "b" || v.Host(2) != "c" {
+		t.Fatalf("tie order = %v", v.Hosts())
+	}
+}
+
+func TestBuildVocabEmpty(t *testing.T) {
+	v := BuildVocab(nil, 1)
+	if v.Len() != 0 || v.Total() != 0 {
+		t.Fatal("empty corpus should give empty vocab")
+	}
+}
+
+func TestVocabValidate(t *testing.T) {
+	v := BuildVocab([][]string{{"a", "b"}}, 1)
+	if err := v.validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every host with frequency >= minCount is present and IDs
+// round-trip.
+func TestVocabRoundTripQuick(t *testing.T) {
+	f := func(tokens []uint8) bool {
+		seq := make([]string, len(tokens))
+		for i, b := range tokens {
+			seq[i] = string(rune('a' + b%8))
+		}
+		v := BuildVocab([][]string{seq}, 1)
+		for id := 0; id < v.Len(); id++ {
+			got, ok := v.ID(v.Host(id))
+			if !ok || got != id {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,70 @@
+package experiment
+
+import (
+	"fmt"
+
+	"hostprof/internal/baseline"
+)
+
+// BaselineStats compares the paper's embedding profiler against the
+// bracketing comparators, all run through the identical campaign: the
+// ontology-only profiler (what an observer can do without representation
+// learning), the oracle (full OTT visibility) and the random profiler.
+type BaselineStats struct {
+	// Affinity maps profiler name → mean ground-truth affinity of the
+	// ads it selected.
+	Affinity map[string]float64
+	// Failures maps profiler name → sessions it could not profile.
+	Failures map[string]int64
+	// CTRPercent maps profiler name → realized eavesdropper CTR.
+	CTRPercent map[string]float64
+}
+
+// baselineNames orders the output.
+var baselineNames = []string{"embedding", "ontology-only", "oracle", "random"}
+
+// TableBaselines runs the ad campaign once per profiler.
+func TableBaselines(s *Setup) (BaselineStats, error) {
+	res := BaselineStats{
+		Affinity:   make(map[string]float64),
+		Failures:   make(map[string]int64),
+		CTRPercent: make(map[string]float64),
+	}
+	profilers := map[string]baseline.SessionProfiler{
+		"embedding":     s.Profiler,
+		"ontology-only": baseline.NewOntologyOnly(s.Ontology),
+		"oracle":        baseline.NewOracle(s.Universe),
+		"random":        baseline.NewRandom(s.Universe.Tax, s.Config.Seed+31),
+	}
+	for _, name := range baselineNames {
+		r, err := RunCampaign(s, profilers[name], CampaignConfig{Seed: s.Config.Seed + 37})
+		if err != nil {
+			return res, fmt.Errorf("experiment: %s campaign: %w", name, err)
+		}
+		res.Affinity[name] = r.MeanEavesAffinity
+		res.Failures[name] = r.ProfileFailures
+		res.CTRPercent[name] = r.EavesCTR.Percent()
+	}
+	return res, nil
+}
+
+// Rows renders the baseline comparison.
+func (b BaselineStats) Rows() []Row {
+	measured := ""
+	for i, n := range baselineNames {
+		if i > 0 {
+			measured += "; "
+		}
+		measured += fmt.Sprintf("%s aff=%.3f fail=%d", n, b.Affinity[n], b.Failures[n])
+	}
+	pass := b.Affinity["embedding"] > b.Affinity["random"] &&
+		b.Failures["embedding"] < b.Failures["ontology-only"]
+	return []Row{{
+		ID:        "BASE",
+		Name:      "Profiler comparison (extension)",
+		Paper:     "paper compares only against ad-networks; baselines added here to bracket the technique",
+		Measured:  measured,
+		Criterion: "embedding beats random on affinity and ontology-only on coverage (fewer failed sessions)",
+		Pass:      pass,
+	}}
+}

@@ -1,0 +1,397 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+
+	"hostprof/internal/ads"
+	"hostprof/internal/baseline"
+	"hostprof/internal/core"
+	"hostprof/internal/stats"
+	"hostprof/internal/synth"
+)
+
+// CampaignConfig tunes the one-month ad-replacement experiment of
+// Sections 5 and 6.
+type CampaignConfig struct {
+	// ReplaceProb is the probability the extension attempts to replace
+	// a served ad (subject to size match). Default 0.35.
+	ReplaceProb float64
+	// SlotsPerPageMax bounds ad slots per page (1..max). Default 2.
+	SlotsPerPageMax int
+	// EavesAdsPerReport is how many ads the back-end sends per report
+	// (paper: 20).
+	EavesAdsPerReport int
+	// DailyRetrain follows the paper's protocol exactly (Section 5.4):
+	// each day's profiles are computed with a model trained on the
+	// previous day's sequences only, eliminating look-ahead. It only
+	// applies when the campaign runs with the setup's own profiler;
+	// custom profilers are used as given.
+	DailyRetrain bool
+	// Seed drives slot and replacement randomness.
+	Seed uint64
+}
+
+func (c CampaignConfig) withDefaults() CampaignConfig {
+	if c.ReplaceProb <= 0 {
+		c.ReplaceProb = 0.35
+	}
+	if c.SlotsPerPageMax <= 0 {
+		c.SlotsPerPageMax = 2
+	}
+	if c.EavesAdsPerReport <= 0 {
+		c.EavesAdsPerReport = 20
+	}
+	return c
+}
+
+// CampaignResult aggregates the outcome of the ad-replacement campaign:
+// the daily topic mixes of Figure 6 and the CTR comparison of
+// Section 6.4.
+type CampaignResult struct {
+	Days int
+	// WebsiteTopics[d][t] is the share of day-d connections to
+	// ontology-labelled hosts whose dominant topic is t (Figure 6a).
+	WebsiteTopics [][]float64
+	// AdNetTopics[d][t] is the share of day-d ad-network impressions
+	// with dominant topic t (Figure 6b).
+	AdNetTopics [][]float64
+	// EavesTopics[d][t] is the same for eavesdropper impressions
+	// (Figure 6c).
+	EavesTopics [][]float64
+
+	// EavesCTR and AdNetCTR are the overall rates (paper: 0.217% and
+	// 0.168%).
+	EavesCTR, AdNetCTR ads.CTR
+	// PerUserEaves/PerUserAdNet are aligned per-user CTRs for the
+	// paired t-test (users who saw both ad types).
+	PerUserEaves, PerUserAdNet []float64
+	// TTest is the two-tailed paired t-test over the per-user CTRs
+	// (the paper's test, Section 6.4).
+	TTest stats.TTestResult
+	// Wilcoxon is the signed-rank robustness check over the same pairs;
+	// per-user CTRs are skewed proportions, so the rank test guards the
+	// t-test's normality assumption.
+	Wilcoxon stats.WilcoxonResult
+
+	// Replaced counts eavesdropper impressions; Served counts all
+	// impressions (paper: 41K replaced of 270K).
+	Replaced, Served int64
+	// ProfileFailures counts reports where profiling errored (empty
+	// session, no labels reachable).
+	ProfileFailures int64
+	// MeanEavesAffinity / MeanAdNetAffinity are the mean ground-truth
+	// user-to-ad affinities of the impressions each system served: the
+	// deterministic profile-quality signal underneath the (noisy,
+	// binomial) CTR.
+	MeanEavesAffinity, MeanAdNetAffinity float64
+
+	eavesAffinitySum, adnetAffinitySum float64
+}
+
+// perUserCTR tracks one user's impressions under both systems.
+type perUserCTR struct {
+	eaves, adnet ads.CTR
+}
+
+// RunCampaign replays the profiling month: every ReportEvery seconds of a
+// user's activity the back-end profiles their last SessionWindow of
+// hostnames with prof and refreshes the replacement-ad list; every page
+// they load serves ads from the ad-network, some of which are replaced by
+// size-matched eavesdropper ads; every impression runs through the click
+// model.
+func RunCampaign(s *Setup, prof baseline.SessionProfiler, cfg CampaignConfig) (CampaignResult, error) {
+	cfg = cfg.withDefaults()
+	rng := stats.NewRNG(cfg.Seed ^ 0xca3b)
+	days := s.Filtered.Days()
+	nTops := s.Universe.Tax.NumTops()
+
+	// Daily retraining (paper Section 5.4): day d is profiled with a
+	// model fitted on day d-1 only; day 0 bootstraps on itself,
+	// standing in for the paper's separate data-collection phase.
+	var dayProfilers []baseline.SessionProfiler
+	if cfg.DailyRetrain {
+		dayProfilers = make([]baseline.SessionProfiler, days)
+		for d := 0; d < days; d++ {
+			src := d - 1
+			if src < 0 {
+				src = 0
+			}
+			tc := s.Config.Train
+			tc.Seed = s.Config.Train.Seed + 7919*uint64(d+1)
+			m, err := core.Train(s.Filtered.DailySequences(src), tc)
+			if err != nil {
+				continue // day stays nil: profiling falls back to prof
+			}
+			dayProfilers[d] = core.NewProfiler(m, s.Ontology,
+				core.ProfilerConfig{N: s.Config.ProfilerN, Agg: core.AggIDF})
+		}
+	}
+	res := CampaignResult{Days: days}
+	res.WebsiteTopics = newDayTopicMatrix(days, nTops)
+	res.AdNetTopics = newDayTopicMatrix(days, nTops)
+	res.EavesTopics = newDayTopicMatrix(days, nTops)
+
+	perUser := make(map[int]*perUserCTR)
+	users := s.Population.Users
+
+	per := s.Filtered.PerUserVisits()
+	for _, uid := range s.Filtered.Users() {
+		if uid < 0 || uid >= len(users) {
+			continue
+		}
+		user := users[uid]
+		uc := &perUserCTR{}
+		perUser[uid] = uc
+
+		var lastReport int64 = -1 << 62
+		var adList []ads.Ad
+		adCursor := 0
+
+		for _, v := range per[uid] {
+			day := v.Day()
+			if day >= days {
+				continue
+			}
+			// Figure 6a: topic of every labelled connection.
+			if lv, ok := s.Ontology.Lookup(v.Host); ok {
+				if top := stats.ArgMax(lv.TopLevel(s.Universe.Tax)); top >= 0 {
+					res.WebsiteTopics[day][top]++
+				}
+			}
+
+			// Periodic report → fresh profile → fresh ad list.
+			if v.Time-lastReport >= s.Config.ReportEvery {
+				lastReport = v.Time
+				profiler := prof
+				if dayProfilers != nil && dayProfilers[day] != nil {
+					profiler = dayProfilers[day]
+				}
+				session := s.Filtered.Session(uid, v.Time, s.Config.SessionWindow)
+				p, err := profiler.ProfileSession(session)
+				if err != nil {
+					res.ProfileFailures++
+				} else {
+					adList = s.Selector.Select(p, cfg.EavesAdsPerReport)
+					adCursor = 0
+				}
+			}
+
+			// Only first-party pages carry ad slots.
+			h, ok := s.Universe.HostByName(v.Host)
+			if !ok || h.Kind != synth.KindSite {
+				continue
+			}
+			site := s.Universe.SiteOfHost(h.ID)
+			pageTop := -1
+			if site != nil {
+				pageTop = site.Top
+			}
+
+			slots := 1 + rng.Intn(cfg.SlotsPerPageMax)
+			for sl := 0; sl < slots; sl++ {
+				original := s.AdNetwork.Serve(user, pageTop, day)
+				replacement, found := nextSizeMatch(adList, &adCursor, original.Size)
+				if found && rng.Bool(cfg.ReplaceProb) {
+					clicked := s.Clicks.Click(user, replacement)
+					uc.eaves.Observe(clicked)
+					res.EavesCTR.Observe(clicked)
+					res.Replaced++
+					res.eavesAffinitySum += user.AffinityTo(replacement.TopLevel)
+					if top := stats.ArgMax(replacement.TopLevel); top >= 0 {
+						res.EavesTopics[day][top]++
+					}
+				} else {
+					clicked := s.Clicks.Click(user, original)
+					uc.adnet.Observe(clicked)
+					res.AdNetCTR.Observe(clicked)
+					res.adnetAffinitySum += user.AffinityTo(original.TopLevel)
+					if top := stats.ArgMax(original.TopLevel); top >= 0 {
+						res.AdNetTopics[day][top]++
+					}
+				}
+				res.Served++
+			}
+		}
+	}
+
+	// Pair per-user CTRs for users who saw both ad types.
+	for _, uid := range s.Filtered.Users() {
+		uc, ok := perUser[uid]
+		if !ok || uc.eaves.Impressions == 0 || uc.adnet.Impressions == 0 {
+			continue
+		}
+		res.PerUserEaves = append(res.PerUserEaves, uc.eaves.Rate())
+		res.PerUserAdNet = append(res.PerUserAdNet, uc.adnet.Rate())
+	}
+	if len(res.PerUserEaves) >= 2 {
+		tt, err := stats.PairedTTest(res.PerUserEaves, res.PerUserAdNet)
+		if err != nil {
+			return res, fmt.Errorf("experiment: t-test: %w", err)
+		}
+		res.TTest = tt
+		if wr, err := stats.WilcoxonSignedRank(res.PerUserEaves, res.PerUserAdNet); err == nil {
+			res.Wilcoxon = wr
+		}
+	}
+
+	if res.Replaced > 0 {
+		res.MeanEavesAffinity = res.eavesAffinitySum / float64(res.Replaced)
+	}
+	if n := res.Served - res.Replaced; n > 0 {
+		res.MeanAdNetAffinity = res.adnetAffinitySum / float64(n)
+	}
+	normalizeDayTopics(res.WebsiteTopics)
+	normalizeDayTopics(res.AdNetTopics)
+	normalizeDayTopics(res.EavesTopics)
+	return res, nil
+}
+
+// nextSizeMatch scans the ad list (starting at *cursor) for a creative
+// matching the slot size, advancing the cursor past the pick.
+func nextSizeMatch(list []ads.Ad, cursor *int, slot ads.CreativeSize) (ads.Ad, bool) {
+	if len(list) == 0 {
+		return ads.Ad{}, false
+	}
+	for i := 0; i < len(list); i++ {
+		idx := (*cursor + i) % len(list)
+		if ads.SizeMatch(slot, list[idx].Size) {
+			*cursor = idx + 1
+			return list[idx], true
+		}
+	}
+	return ads.Ad{}, false
+}
+
+func newDayTopicMatrix(days, tops int) [][]float64 {
+	m := make([][]float64, days)
+	for d := range m {
+		m[d] = make([]float64, tops)
+	}
+	return m
+}
+
+// normalizeDayTopics converts counts to per-day shares.
+func normalizeDayTopics(m [][]float64) {
+	for _, row := range m {
+		var s float64
+		for _, v := range row {
+			s += v
+		}
+		if s == 0 {
+			continue
+		}
+		for i := range row {
+			row[i] /= s
+		}
+	}
+}
+
+// ErrNoPairs is returned by CTRRows when too few users saw both ad types.
+var ErrNoPairs = errors.New("experiment: too few paired users for t-test")
+
+// CTRRows renders the Section 6.4 comparison.
+func (r CampaignResult) CTRRows() []Row {
+	ratio := 0.0
+	if r.AdNetCTR.Rate() > 0 {
+		ratio = r.EavesCTR.Rate() / r.AdNetCTR.Rate()
+	}
+	pass := r.EavesCTR.Impressions > 0 && r.AdNetCTR.Impressions > 0 &&
+		ratio > 0.5 && ratio < 2.0
+	return []Row{{
+		ID:    "CTR",
+		Name:  "Click-through rate comparison",
+		Paper: "eavesdropper 0.217% vs ad-network 0.168%; paired t-test p=.113 (no significant difference)",
+		Measured: fmt.Sprintf("eavesdropper %.3f%% (%d imp) vs ad-network %.3f%% (%d imp); t=%.2f p=%.3f (Wilcoxon p=%.3f) over %d paired users",
+			r.EavesCTR.Percent(), r.EavesCTR.Impressions,
+			r.AdNetCTR.Percent(), r.AdNetCTR.Impressions,
+			r.TTest.T, r.TTest.P, r.Wilcoxon.P, r.TTest.N),
+		Criterion: "eavesdropper CTR within 2x of ad-network CTR (profiles comparable in quality)",
+		Pass:      pass,
+	}}
+}
+
+// Fig6Rows renders the topic-mix comparison of Figure 6.
+func (r CampaignResult) Fig6Rows() []Row {
+	webTop, webShare := dominantTopic(r.WebsiteTopics)
+	adTop, _ := dominantTopic(r.AdNetTopics)
+	evTop, _ := dominantTopic(r.EavesTopics)
+	stability := topTopicStability(r.WebsiteTopics, webTop)
+	l1 := meanL1(r.AdNetTopics, r.EavesTopics)
+	return []Row{
+		{
+			ID:    "FIG6a",
+			Name:  "Topics of visited websites per day",
+			Paper: "Online Communities / Arts & Entertainment dominate and stay stable over the month",
+			Measured: fmt.Sprintf("dominant topic #%d with mean share %.2f, day-to-day stddev %.3f",
+				webTop, webShare, stability),
+			Criterion: "one topic dominates with share stable across days (stddev < share/2)",
+			Pass:      webShare > 0.05 && stability < webShare/2,
+		},
+		{
+			ID:    "FIG6b/c",
+			Name:  "Topics of served ads (ad-network vs eavesdropper)",
+			Paper: "ad mixes differ from website mix and from each other",
+			Measured: fmt.Sprintf("dominant ad topics: ad-network #%d, eavesdropper #%d; mean daily L1 distance %.2f",
+				adTop, evTop, l1),
+			Criterion: "distributions differ (L1 > 0.2)",
+			Pass:      l1 > 0.2,
+		},
+	}
+}
+
+// dominantTopic returns the topic with the highest mean share and that
+// share.
+func dominantTopic(m [][]float64) (int, float64) {
+	if len(m) == 0 {
+		return -1, 0
+	}
+	means := make([]float64, len(m[0]))
+	for _, row := range m {
+		for i, v := range row {
+			means[i] += v
+		}
+	}
+	for i := range means {
+		means[i] /= float64(len(m))
+	}
+	best := stats.ArgMax(means)
+	if best < 0 {
+		return -1, 0
+	}
+	return best, means[best]
+}
+
+// topTopicStability returns the day-to-day standard deviation of the
+// given topic's share.
+func topTopicStability(m [][]float64, topic int) float64 {
+	if topic < 0 || len(m) == 0 {
+		return 0
+	}
+	xs := make([]float64, len(m))
+	for d, row := range m {
+		xs[d] = row[topic]
+	}
+	return stats.StdDev(xs)
+}
+
+// meanL1 averages the per-day L1 distance between two day-topic
+// matrices.
+func meanL1(a, b [][]float64) float64 {
+	if len(a) == 0 || len(a) != len(b) {
+		return 0
+	}
+	var total float64
+	for d := range a {
+		var l1 float64
+		for i := range a[d] {
+			diff := a[d][i] - b[d][i]
+			if diff < 0 {
+				diff = -diff
+			}
+			l1 += diff
+		}
+		total += l1
+	}
+	return total / float64(len(a))
+}

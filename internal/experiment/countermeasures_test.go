@@ -1,0 +1,33 @@
+package experiment
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCountermeasureLadder(t *testing.T) {
+	s := testSetup(t)
+	r, err := RunCountermeasures(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range r.Order {
+		fmt.Printf("%-14s match=%.2f fallback=%.2f\n", n, r.MatchRate[n], r.Fallback[n])
+	}
+	row := r.Rows()[0]
+	fmt.Println(row.Measured)
+	if !row.Pass {
+		t.Fatalf("countermeasure row failed: %+v", row)
+	}
+	// Destination-hiding scenarios sit at chance level, far below the
+	// leaking scenarios. (tor-like vs cdn ordering is chance noise:
+	// with one shared front label every user gets the same profile.)
+	for _, weak := range []string{"ech+doh+cdn", "tor-like"} {
+		for _, strong := range []string{"none", "doh", "ech+doh"} {
+			if r.MatchRate[weak] >= r.MatchRate[strong] {
+				t.Fatalf("%s (%.2f) not below %s (%.2f)",
+					weak, r.MatchRate[weak], strong, r.MatchRate[strong])
+			}
+		}
+	}
+}

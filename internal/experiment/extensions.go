@@ -1,0 +1,172 @@
+package experiment
+
+import (
+	"fmt"
+
+	"hostprof/internal/core"
+	"hostprof/internal/ontology"
+	"hostprof/internal/sniffer"
+)
+
+// ExtResult is the outcome of a Section 7.2 extension experiment: the
+// observer consumed traffic under some degraded condition (ECH, NAT) and
+// we measure how often a profiled user's dominant inferred topic matches
+// the topics they actually browsed in the profiled window.
+type ExtResult struct {
+	// Profiled is the number of users (or NAT households) profiled.
+	Profiled int
+	// Matches is how many profiles hit a browsed topic.
+	Matches int
+	// FallbackShare is the fraction of observed visits that were
+	// destination-IP fallbacks rather than readable hostnames.
+	FallbackShare float64
+	// ObservedVisits is the size of the observer's reconstruction.
+	ObservedVisits int
+}
+
+// MatchRate returns Matches/Profiled (0 when nothing was profiled).
+func (r ExtResult) MatchRate() float64 {
+	if r.Profiled == 0 {
+		return 0
+	}
+	return float64(r.Matches) / float64(r.Profiled)
+}
+
+// ExtConfig drives an extension run.
+type ExtConfig struct {
+	// Wire configures the traffic degradation under test.
+	Wire sniffer.WireConfig
+	// ResolveIPs augments the ontology with destination-IP labels for
+	// every labelled hostname, modelling an observer that resolves the
+	// labelled hostnames offline and recognizes their server addresses
+	// (needed once SNI disappears under ECH).
+	ResolveIPs bool
+	// TrainEpochs overrides training passes (0 keeps the setup value).
+	TrainEpochs int
+	Seed        uint64
+}
+
+// RunExtension replays the end-to-end observer pipeline under cfg against
+// the world of s: render the browsing trace to packets, observe it (with
+// IP fallback enabled), train a fresh embedding on the observed visits,
+// and profile every wire-level user at their last active moment.
+func RunExtension(s *Setup, cfg ExtConfig) (ExtResult, error) {
+	syn := sniffer.NewSynthesizer(cfg.Wire)
+	capture, err := syn.SynthesizeTrace(s.Raw)
+	if err != nil {
+		return ExtResult{}, fmt.Errorf("experiment: extension wire: %w", err)
+	}
+	obs := sniffer.NewObserver(sniffer.ObserverConfig{IPFallback: true})
+	observed := obs.ObserveAll(capture.Packets, capture.Times)
+	// Blocklist filtering still applies to readable hostnames.
+	observed = observed.FilterHosts(func(h string) bool { return !s.Blocklist.Contains(h) })
+	if observed.Len() == 0 {
+		return ExtResult{}, fmt.Errorf("experiment: observer reconstructed nothing")
+	}
+
+	res := ExtResult{ObservedVisits: observed.Len()}
+	if obs.Stats.TLSVisits+obs.Stats.IPFallbacks > 0 {
+		res.FallbackShare = float64(obs.Stats.IPFallbacks) /
+			float64(obs.Stats.TLSVisits+obs.Stats.QUICVisits+obs.Stats.DNSVisits+obs.Stats.IPFallbacks)
+	}
+
+	// The observer's ontology: the labelled hostnames, optionally plus
+	// the IP pseudo-hostnames it can resolve them to.
+	ont := s.Ontology
+	if cfg.ResolveIPs {
+		ont = ontology.New(s.Ontology.Taxonomy())
+		for _, host := range s.Ontology.Hosts() {
+			v, _ := s.Ontology.Lookup(host)
+			ont.Add(host, v.Clone())
+			// The observer resolves through the same co-hosting the
+			// clients see; shared front IPs overwrite each other,
+			// losing information exactly as in reality.
+			ont.Add(sniffer.IPToken(hostAddr(host, cfg.Wire.CoHostIPs)), v.Clone())
+		}
+	}
+
+	trainCfg := s.Config.Train
+	if cfg.TrainEpochs > 0 {
+		trainCfg.Epochs = cfg.TrainEpochs
+	}
+	trainCfg.Seed = cfg.Seed + 101
+	model, err := core.Train(observed.AllSequences(), trainCfg)
+	if err != nil {
+		return ExtResult{}, fmt.Errorf("experiment: extension training: %w", err)
+	}
+	prof := core.NewProfiler(model, ont, core.ProfilerConfig{N: s.Config.ProfilerN, Agg: core.AggIDF})
+
+	// Profile each wire user at their last visit; judge against the
+	// ground-truth topics browsed (by any NATted member) in the window.
+	lastSeen := make(map[int]int64)
+	for _, v := range observed.Visits() {
+		lastSeen[v.User] = v.Time
+	}
+	for _, wireUser := range observed.Users() {
+		now := lastSeen[wireUser]
+		session := observed.Session(wireUser, now, s.Config.SessionWindow)
+		p, err := prof.ProfileSession(session)
+		if err != nil {
+			continue
+		}
+		res.Profiled++
+		top := argmaxF(p.TopLevel(s.Universe.Tax))
+		if top < 0 {
+			continue
+		}
+		// Ground truth: what was actually browsed behind this wire
+		// identity in the window (using the raw trace and the NAT
+		// grouping).
+		truth := s.groundTruthWindowTopics(wireUser, now, cfg.Wire.NATSize)
+		if truth[top] {
+			res.Matches++
+		}
+	}
+	return res, nil
+}
+
+// groundTruthWindowTopics returns the set of site topics browsed in the
+// session window by every real user mapped onto wireUser.
+func (s *Setup) groundTruthWindowTopics(wireUser int, now int64, natSize int) map[int]bool {
+	users := []int{wireUser}
+	if natSize > 1 {
+		users = users[:0]
+		for u := wireUser; u < wireUser+natSize; u++ {
+			users = append(users, u)
+		}
+	}
+	topics := make(map[int]bool)
+	for _, u := range users {
+		for _, host := range s.Raw.Session(u, now, s.Config.SessionWindow) {
+			if h, ok := s.Universe.HostByName(host); ok {
+				if site := s.Universe.SiteOfHost(h.ID); site != nil {
+					topics[site.Top] = true
+				}
+			}
+		}
+	}
+	return topics
+}
+
+// hostAddr wraps the synthesizer's hostname→front-IP mapping in Packet
+// address encoding.
+func hostAddr(host string, coHostIPs int) [16]byte {
+	v4 := sniffer.FrontAddr(host, coHostIPs)
+	var a [16]byte
+	copy(a[:4], v4[:])
+	a[15] = 4
+	return a
+}
+
+func argmaxF(xs []float64) int {
+	if len(xs) == 0 {
+		return -1
+	}
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,80 @@
+package ontology
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// labelRecord is the JSONL form of one labelled host: category IDs with
+// non-zero weight only, to keep files small.
+type labelRecord struct {
+	Host    string    `json:"host"`
+	Cats    []int     `json:"cats"`
+	Weights []float64 `json:"weights"`
+}
+
+// WriteJSONL streams the ontology's labels to w, one host per line,
+// sorted by hostname for reproducible output.
+func (o *Ontology) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	hosts := make([]string, 0, len(o.labels))
+	for h := range o.labels {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	for _, h := range hosts {
+		v := o.labels[h]
+		rec := labelRecord{Host: h}
+		for i, x := range v {
+			if x > 0 {
+				rec.Cats = append(rec.Cats, i)
+				rec.Weights = append(rec.Weights, x)
+			}
+		}
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("ontology: encoding %q: %w", h, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("ontology: flushing: %w", err)
+	}
+	return nil
+}
+
+// ReadJSONL parses labels written by WriteJSONL into a fresh ontology
+// over tax.
+func ReadJSONL(tax *Taxonomy, r io.Reader) (*Ontology, error) {
+	o := New(tax)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec labelRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("ontology: line %d: %w", line, err)
+		}
+		if len(rec.Cats) != len(rec.Weights) {
+			return nil, fmt.Errorf("ontology: line %d: cats/weights mismatch", line)
+		}
+		v := tax.NewVector()
+		for i, c := range rec.Cats {
+			if c < 0 || c >= len(v) {
+				return nil, fmt.Errorf("ontology: line %d: category %d out of range", line, c)
+			}
+			v[c] = rec.Weights[i]
+		}
+		o.Add(rec.Host, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ontology: reading: %w", err)
+	}
+	return o, nil
+}

@@ -1,0 +1,148 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	pkts := [][]byte{
+		{1, 2, 3, 4},
+		{},
+		bytes.Repeat([]byte{0xaa}, 1500),
+	}
+	for i, p := range pkts {
+		if err := w.WriteRecord(uint32(100+i), uint32(i), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LinkType != LinkTypeEthernet {
+		t.Fatalf("link type %d", r.LinkType)
+	}
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(pkts) {
+		t.Fatalf("got %d records", len(recs))
+	}
+	for i, rec := range recs {
+		if !bytes.Equal(rec.Data, pkts[i]) {
+			t.Fatalf("record %d data mismatch", i)
+		}
+		if rec.TimeSec != uint32(100+i) || rec.TimeMicro != uint32(i) {
+			t.Fatalf("record %d timestamp %d.%d", i, rec.TimeSec, rec.TimeMicro)
+		}
+		if rec.OrigLen != uint32(len(pkts[i])) {
+			t.Fatalf("record %d origlen %d", i, rec.OrigLen)
+		}
+	}
+}
+
+func TestBigEndianRead(t *testing.T) {
+	// Hand-craft a big-endian capture with one 3-byte record.
+	var buf bytes.Buffer
+	be := binary.BigEndian
+	hdr := make([]byte, 24)
+	be.PutUint32(hdr[0:4], 0xa1b2c3d4)
+	be.PutUint16(hdr[4:6], 2)
+	be.PutUint16(hdr[6:8], 4)
+	be.PutUint32(hdr[16:20], 65535)
+	be.PutUint32(hdr[20:24], 1)
+	buf.Write(hdr)
+	rec := make([]byte, 16)
+	be.PutUint32(rec[0:4], 7)
+	be.PutUint32(rec[4:8], 8)
+	be.PutUint32(rec[8:12], 3)
+	be.PutUint32(rec[12:16], 3)
+	buf.Write(rec)
+	buf.Write([]byte{9, 9, 9})
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TimeSec != 7 || got.TimeMicro != 8 || len(got.Data) != 3 {
+		t.Fatalf("record %+v", got)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("err = %v, want EOF", err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader(make([]byte, 24))); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTruncatedHeader(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader(make([]byte, 10))); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteRecord(1, 2, []byte{1, 2, 3, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(data[:len(data)-2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEmptyCapture(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.writeHeader(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := r.ReadAll()
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("recs=%v err=%v", recs, err)
+	}
+}
+
+func TestSnapLenEnforced(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.snapLen = 4
+	if err := w.WriteRecord(0, 0, []byte{1, 2, 3, 4, 5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Data) != 4 || rec.OrigLen != 6 {
+		t.Fatalf("caplen=%d origlen=%d", len(rec.Data), rec.OrigLen)
+	}
+}

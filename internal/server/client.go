@@ -1,0 +1,108 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Extension is the client side of the experiment: the paper's Chrome
+// extension, which reported the user's hostname sequence every 10
+// minutes, received replacement ads, and posted back what was displayed
+// and clicked.
+type Extension struct {
+	// BaseURL of the backend, e.g. "http://127.0.0.1:8420".
+	BaseURL string
+	// User is the random install ID (the paper assigned one per
+	// installation and stored nothing else about the user).
+	User int
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (e *Extension) client() *http.Client {
+	if e.HTTPClient != nil {
+		return e.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// post sends a JSON body and decodes a JSON response into out (nil out
+// accepts 2xx with any body).
+func (e *Extension) post(path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("server client: encoding %s: %w", path, err)
+	}
+	resp, err := e.client().Post(e.BaseURL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("server client: %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return &APIError{Status: resp.StatusCode, Message: string(bytes.TrimSpace(msg))}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("server client: decoding %s: %w", path, err)
+	}
+	return nil
+}
+
+// APIError is a non-2xx backend answer.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server client: HTTP %d: %s", e.Status, e.Message)
+}
+
+// Report sends the hostnames observed since the last report and returns
+// the backend's replacement-ad list (empty when the backend cannot
+// profile the session yet).
+func (e *Extension) Report(now int64, hosts []string) ([]WireAd, error) {
+	var resp ReportResponse
+	err := e.post("/v1/report", ReportRequest{User: e.User, Time: now, Hosts: hosts}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Ads, nil
+}
+
+// Feedback reports one displayed ad and whether it was clicked.
+func (e *Extension) Feedback(adID int, source string, clicked bool) error {
+	return e.post("/v1/feedback", FeedbackRequest{
+		User: e.User, AdID: adID, Source: source, Clicked: clicked,
+	}, nil)
+}
+
+// Retrain asks the backend to refit its model on everything reported so
+// far (operator endpoint; the paper ran this daily).
+func (e *Extension) Retrain() error {
+	return e.post("/v1/retrain", struct{}{}, nil)
+}
+
+// Stats fetches the backend's aggregate statistics.
+func (e *Extension) Stats() (Stats, error) {
+	resp, err := e.client().Get(e.BaseURL + "/v1/stats")
+	if err != nil {
+		return Stats{}, fmt.Errorf("server client: stats: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Stats{}, &APIError{Status: resp.StatusCode}
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return Stats{}, fmt.Errorf("server client: decoding stats: %w", err)
+	}
+	return st, nil
+}

@@ -1,0 +1,304 @@
+// Package server implements the experiment back-end of paper Section 5:
+// an HTTP service that receives hostname reports from instrumented
+// clients (the paper's Chrome extension), maintains the visit store,
+// retrains the embedding model on demand (the paper retrained daily),
+// profiles the reporting user's last T minutes and answers with a list
+// of relevant ads; a second endpoint collects impression/click feedback
+// so campaign CTR can be read off the back-end.
+//
+// The wire format is JSON over HTTP — the paper's extension spoke to its
+// back-end over TLS the same way.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"hostprof/internal/ads"
+	"hostprof/internal/core"
+	"hostprof/internal/ontology"
+	"hostprof/internal/trace"
+)
+
+// Config assembles a Backend.
+type Config struct {
+	// Ontology supplies labels (required).
+	Ontology *ontology.Ontology
+	// AdDB is the replacement-ad inventory (required).
+	AdDB *ads.DB
+	// Blocklist filters tracker hostnames from reports (optional).
+	Blocklist *ontology.Blocklist
+	// Train configures (re)training.
+	Train core.TrainConfig
+	// Profile configures session profiling.
+	Profile core.ProfilerConfig
+	// SessionWindow is T in seconds (default 1200, the paper's 20 min).
+	SessionWindow int64
+	// AdsPerReport is how many ads each report answer carries
+	// (default 20, paper Section 5.3).
+	AdsPerReport int
+}
+
+// Backend is the profiling/ad server. All methods are safe for
+// concurrent use.
+type Backend struct {
+	cfg Config
+
+	mu       sync.Mutex
+	visits   *trace.Trace
+	profiler *core.Profiler
+	selector *ads.Selector
+
+	// campaign statistics
+	impressions map[string]int64 // by source: "eavesdropper" / "original"
+	clicks      map[string]int64
+}
+
+// New validates cfg and returns an empty backend. Ads are indexed
+// immediately; the model does not exist until the first Retrain.
+func New(cfg Config) (*Backend, error) {
+	if cfg.Ontology == nil {
+		return nil, errors.New("server: config requires an ontology")
+	}
+	if cfg.AdDB == nil {
+		return nil, errors.New("server: config requires an ad inventory")
+	}
+	if cfg.SessionWindow <= 0 {
+		cfg.SessionWindow = 20 * 60
+	}
+	if cfg.AdsPerReport <= 0 {
+		cfg.AdsPerReport = 20
+	}
+	sel, err := ads.NewSelector(cfg.AdDB, cfg.Ontology, 20)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	return &Backend{
+		cfg:         cfg,
+		visits:      trace.New(nil),
+		selector:    sel,
+		impressions: make(map[string]int64),
+		clicks:      make(map[string]int64),
+	}, nil
+}
+
+// Retrain fits a fresh embedding on every per-user-day sequence stored so
+// far and swaps in a new profiler (the paper's daily retraining step).
+func (b *Backend) Retrain() error {
+	b.mu.Lock()
+	corpus := b.visits.AllSequences()
+	b.mu.Unlock()
+	model, err := core.Train(corpus, b.cfg.Train)
+	if err != nil {
+		return fmt.Errorf("server: retrain: %w", err)
+	}
+	prof := core.NewProfiler(model, b.cfg.Ontology, b.cfg.Profile)
+	b.mu.Lock()
+	b.profiler = prof
+	b.mu.Unlock()
+	return nil
+}
+
+// report ingests one extension report and returns the replacement-ad
+// list for the user's current profile.
+func (b *Backend) report(userID int, now int64, hosts []string) ([]ads.Ad, error) {
+	b.mu.Lock()
+	for i, h := range hosts {
+		if b.cfg.Blocklist != nil && b.cfg.Blocklist.Contains(h) {
+			continue
+		}
+		// Hosts within one report share the report timestamp; order is
+		// preserved by a strictly increasing sub-second offset encoded
+		// in visit order (trace sorting is stable).
+		b.visits.Append(trace.Visit{User: userID, Time: now, Host: hosts[i]})
+	}
+	session := b.visits.Session(userID, now, b.cfg.SessionWindow)
+	prof := b.profiler
+	b.mu.Unlock()
+
+	if prof == nil {
+		return nil, errNotTrained
+	}
+	profile, err := prof.ProfileSession(session)
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	list := b.selector.Select(profile, b.cfg.AdsPerReport)
+	b.mu.Unlock()
+	return list, nil
+}
+
+var errNotTrained = errors.New("server: model not trained yet")
+
+// observeImpression records one displayed ad.
+func (b *Backend) observeImpression(source string, clicked bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.impressions[source]++
+	if clicked {
+		b.clicks[source]++
+	}
+}
+
+// Stats is the back-end's aggregate view.
+type Stats struct {
+	Visits      int                `json:"visits"`
+	Users       int                `json:"users"`
+	Trained     bool               `json:"trained"`
+	VocabSize   int                `json:"vocab_size"`
+	Impressions map[string]int64   `json:"impressions"`
+	Clicks      map[string]int64   `json:"clicks"`
+	CTRPercent  map[string]float64 `json:"ctr_percent"`
+}
+
+// CurrentStats snapshots the backend state.
+func (b *Backend) CurrentStats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := Stats{
+		Visits:      b.visits.Len(),
+		Users:       len(b.visits.Users()),
+		Trained:     b.profiler != nil,
+		Impressions: make(map[string]int64, len(b.impressions)),
+		Clicks:      make(map[string]int64, len(b.clicks)),
+		CTRPercent:  make(map[string]float64, len(b.impressions)),
+	}
+	if b.profiler != nil {
+		st.VocabSize = b.profiler.Model().Vocab().Len()
+	}
+	for k, v := range b.impressions {
+		st.Impressions[k] = v
+		st.Clicks[k] = b.clicks[k]
+		if v > 0 {
+			st.CTRPercent[k] = 100 * float64(b.clicks[k]) / float64(v)
+		}
+	}
+	return st
+}
+
+// --- HTTP layer ---------------------------------------------------------
+
+// ReportRequest is the extension's periodic hostname report.
+type ReportRequest struct {
+	User  int      `json:"user"`
+	Time  int64    `json:"time"`
+	Hosts []string `json:"hosts"`
+}
+
+// WireAd is one replacement creative in a report response.
+type WireAd struct {
+	ID      int    `json:"id"`
+	Landing string `json:"landing"`
+	W       int    `json:"w"`
+	H       int    `json:"h"`
+}
+
+// ReportResponse carries the replacement-ad list.
+type ReportResponse struct {
+	Ads []WireAd `json:"ads"`
+}
+
+// FeedbackRequest records an impression or click.
+type FeedbackRequest struct {
+	User    int    `json:"user"`
+	AdID    int    `json:"ad_id"`
+	Source  string `json:"source"` // "eavesdropper" or "original"
+	Clicked bool   `json:"clicked"`
+}
+
+// Handler returns the backend's HTTP API:
+//
+//	POST /v1/report     ReportRequest  → ReportResponse
+//	POST /v1/feedback   FeedbackRequest → 204
+//	POST /v1/retrain    (empty)        → 204
+//	GET  /v1/stats      → Stats
+func (b *Backend) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/report", b.handleReport)
+	mux.HandleFunc("POST /v1/feedback", b.handleFeedback)
+	mux.HandleFunc("POST /v1/retrain", b.handleRetrain)
+	mux.HandleFunc("GET /v1/stats", b.handleStats)
+	return mux
+}
+
+const maxBodyBytes = 1 << 20
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func (b *Backend) handleReport(w http.ResponseWriter, r *http.Request) {
+	var req ReportRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Hosts) == 0 {
+		http.Error(w, "empty host list", http.StatusBadRequest)
+		return
+	}
+	list, err := b.report(req.User, req.Time, req.Hosts)
+	switch {
+	case errors.Is(err, errNotTrained):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case errors.Is(err, core.ErrNoLabels), errors.Is(err, core.ErrEmptySession):
+		// Profiling undefined for this session: legitimate, no ads.
+		list = nil
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	resp := ReportResponse{Ads: make([]WireAd, 0, len(list))}
+	for _, ad := range list {
+		resp.Ads = append(resp.Ads, WireAd{
+			ID: ad.ID, Landing: ad.LandingHost, W: ad.Size.W, H: ad.Size.H,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		// Response already committed; nothing safe to do.
+		return
+	}
+}
+
+func (b *Backend) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	var req FeedbackRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Source != "eavesdropper" && req.Source != "original" {
+		http.Error(w, "source must be eavesdropper or original", http.StatusBadRequest)
+		return
+	}
+	b.observeImpression(req.Source, req.Clicked)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (b *Backend) handleRetrain(w http.ResponseWriter, r *http.Request) {
+	if err := b.Retrain(); err != nil {
+		if errors.Is(err, core.ErrEmptyCorpus) {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (b *Backend) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(b.CurrentStats()); err != nil {
+		return
+	}
+}

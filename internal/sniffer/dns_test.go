@@ -1,0 +1,81 @@
+package sniffer
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestDNSQueryRoundTrip(t *testing.T) {
+	for _, host := range []string{"example.com", "a.b.c.example", "x.io"} {
+		q, err := BuildDNSQuery(host, 0x1234)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ParseDNSQueryName(q)
+		if err != nil {
+			t.Fatalf("%s: %v", host, err)
+		}
+		if got != host {
+			t.Fatalf("got %q, want %q", got, host)
+		}
+	}
+}
+
+func TestDNSRejectsResponses(t *testing.T) {
+	q, err := BuildDNSQuery("site.example", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q[2] |= 0x80 // QR bit
+	if _, err := ParseDNSQueryName(q); !errors.Is(err, ErrNotDNSQuery) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDNSRejectsShortAndEmpty(t *testing.T) {
+	if _, err := ParseDNSQueryName(make([]byte, 5)); !errors.Is(err, ErrNotDNSQuery) {
+		t.Fatalf("err = %v", err)
+	}
+	// Zero questions.
+	hdr := make([]byte, 12)
+	if _, err := ParseDNSQueryName(hdr); !errors.Is(err, ErrNotDNSQuery) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDNSBadNames(t *testing.T) {
+	if _, err := BuildDNSQuery("", 1); !errors.Is(err, ErrBadName) {
+		t.Fatalf("err = %v", err)
+	}
+	long := make([]byte, 64)
+	for i := range long {
+		long[i] = 'a'
+	}
+	if _, err := BuildDNSQuery(string(long)+".example", 1); !errors.Is(err, ErrBadName) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := BuildDNSQuery("a..b", 1); !errors.Is(err, ErrBadName) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDNSNameCompressionRejected(t *testing.T) {
+	q, err := BuildDNSQuery("comp.example", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q[12] = 0xc0 // compression pointer in QNAME
+	if _, err := ParseDNSQueryName(q); !errors.Is(err, ErrBadName) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDNSUnterminatedName(t *testing.T) {
+	q, err := BuildDNSQuery("cut.example", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseDNSQueryName(q[:14]); !errors.Is(err, ErrBadName) {
+		t.Fatalf("err = %v", err)
+	}
+}

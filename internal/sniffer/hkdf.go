@@ -1,0 +1,41 @@
+package sniffer
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+)
+
+// hkdfExtract implements HKDF-Extract (RFC 5869) with SHA-256.
+func hkdfExtract(salt, ikm []byte) []byte {
+	mac := hmac.New(sha256.New, salt)
+	mac.Write(ikm)
+	return mac.Sum(nil)
+}
+
+// hkdfExpand implements HKDF-Expand (RFC 5869) with SHA-256.
+func hkdfExpand(prk, info []byte, length int) []byte {
+	out := make([]byte, 0, length)
+	var t []byte
+	for counter := byte(1); len(out) < length; counter++ {
+		mac := hmac.New(sha256.New, prk)
+		mac.Write(t)
+		mac.Write(info)
+		mac.Write([]byte{counter})
+		t = mac.Sum(nil)
+		out = append(out, t...)
+	}
+	return out[:length]
+}
+
+// hkdfExpandLabel implements the TLS 1.3 HKDF-Expand-Label construction
+// (RFC 8446 Section 7.1) used by QUIC for key derivation.
+func hkdfExpandLabel(secret []byte, label string, context []byte, length int) []byte {
+	full := "tls13 " + label
+	info := make([]byte, 0, 4+len(full)+len(context))
+	info = append(info, byte(length>>8), byte(length))
+	info = append(info, byte(len(full)))
+	info = append(info, full...)
+	info = append(info, byte(len(context)))
+	info = append(info, context...)
+	return hkdfExpand(secret, info, length)
+}

@@ -1,0 +1,287 @@
+package sniffer
+
+import (
+	"errors"
+	"fmt"
+
+	"hostprof/internal/trace"
+)
+
+// FlowKey identifies a unidirectional transport flow.
+type FlowKey struct {
+	Src, Dst         [16]byte
+	SrcPort, DstPort uint16
+	Proto            byte
+}
+
+// flowState buffers the beginning of a TCP client stream until an SNI has
+// been extracted or the flow is declared uninteresting.
+type flowState struct {
+	asm      *streamAssembler
+	done     bool
+	lastSeen int64
+}
+
+// maxFlowBuffer bounds per-flow buffering: a ClientHello that has not
+// completed within this many bytes never will.
+const maxFlowBuffer = 16 * 1024
+
+// ObserverConfig tunes the passive observer.
+type ObserverConfig struct {
+	// UserOf maps a client source address to a user ID; the default
+	// uses the low bytes of the address, matching the synthesizer's
+	// 10.(u>>8).(u&0xff).1 layout. Real observers key on MAC, IMSI or
+	// subscriber line (paper Section 7.2).
+	UserOf func(addr [16]byte) int
+	// FlowTimeout evicts idle flows after this many seconds. Default 60.
+	FlowTimeout int64
+	// Ports considered TLS; default {443}.
+	TLSPorts []uint16
+	// Ports considered QUIC; default {443}.
+	QUICPorts []uint16
+	// Ports considered DNS; default {53}.
+	DNSPorts []uint16
+	// IPFallback, when true, emits a pseudo-hostname ("ip-a.b.c.d")
+	// derived from the destination address for TLS flows whose
+	// ClientHello carries no readable SNI (encrypted ClientHello).
+	// Paper Section 7.2: "encrypted SNI ... do not hide the IP address
+	// that may be used by the profiling algorithm".
+	IPFallback bool
+}
+
+func (c ObserverConfig) withDefaults() ObserverConfig {
+	if c.UserOf == nil {
+		c.UserOf = func(a [16]byte) int {
+			return int(a[1])<<8 | int(a[2])
+		}
+	}
+	if c.FlowTimeout <= 0 {
+		c.FlowTimeout = 60
+	}
+	if len(c.TLSPorts) == 0 {
+		c.TLSPorts = []uint16{443}
+	}
+	if len(c.QUICPorts) == 0 {
+		c.QUICPorts = []uint16{443}
+	}
+	if len(c.DNSPorts) == 0 {
+		c.DNSPorts = []uint16{53}
+	}
+	return c
+}
+
+// Observer is the passive network eavesdropper: packets in, hostname
+// visits out. It understands TLS-over-TCP (SNI), QUIC v1 Initials and DNS
+// queries — every channel that leaks the hostname despite encryption
+// (paper Section 7.2).
+type Observer struct {
+	cfg   ObserverConfig
+	flows map[FlowKey]*flowState
+	pkt   Packet
+	// ipToHost maps server addresses to hostnames learned from DNS
+	// responses flowing past the observer; used to resolve SNI-less
+	// (ECH) flows to real hostnames instead of raw IP tokens.
+	ipToHost map[[16]byte]string
+
+	// Stats counts what the observer saw, for diagnostics.
+	Stats ObserverStats
+}
+
+// ObserverStats tallies observer activity.
+type ObserverStats struct {
+	Packets           int64
+	Undecodable       int64
+	TLSVisits         int64
+	QUICVisits        int64
+	DNSVisits         int64
+	IPFallbacks       int64
+	ResolvedFallbacks int64
+	DNSMappings       int64
+	FlowsTracked      int64
+	FlowsEvicted      int64
+}
+
+// NewObserver returns an observer with the given configuration.
+func NewObserver(cfg ObserverConfig) *Observer {
+	return &Observer{
+		cfg:      cfg.withDefaults(),
+		flows:    make(map[FlowKey]*flowState),
+		ipToHost: make(map[[16]byte]string),
+	}
+}
+
+// portIn reports whether p is in ports.
+func portIn(p uint16, ports []uint16) bool {
+	for _, q := range ports {
+		if p == q {
+			return true
+		}
+	}
+	return false
+}
+
+// ProcessPacket inspects one captured Ethernet frame taken at time ts
+// (seconds). When the packet completes a hostname observation, the
+// corresponding visit is returned with ok = true.
+func (o *Observer) ProcessPacket(data []byte, ts int64) (v trace.Visit, ok bool) {
+	o.Stats.Packets++
+	if err := DecodePacket(data, &o.pkt); err != nil {
+		o.Stats.Undecodable++
+		return trace.Visit{}, false
+	}
+	p := &o.pkt
+	switch p.Transport {
+	case ProtoUDP:
+		switch {
+		case portIn(p.UDP.SrcPort, o.cfg.DNSPorts):
+			// Resolver → client: learn address→hostname mappings from
+			// A/AAAA answers for later ECH resolution.
+			o.learnDNSResponse(p.Payload)
+			return trace.Visit{}, false
+		case portIn(p.UDP.DstPort, o.cfg.DNSPorts):
+			host, err := ParseDNSQueryName(p.Payload)
+			if err != nil {
+				return trace.Visit{}, false
+			}
+			o.Stats.DNSVisits++
+			return trace.Visit{User: o.cfg.UserOf(p.SrcAddr()), Time: ts, Host: host}, true
+		case portIn(p.UDP.DstPort, o.cfg.QUICPorts):
+			host, err := ParseQUICInitialSNI(p.Payload)
+			if err != nil {
+				return trace.Visit{}, false
+			}
+			o.Stats.QUICVisits++
+			return trace.Visit{User: o.cfg.UserOf(p.SrcAddr()), Time: ts, Host: host}, true
+		}
+	case ProtoTCP:
+		if !portIn(p.TCP.DstPort, o.cfg.TLSPorts) {
+			return trace.Visit{}, false // only client→server direction
+		}
+		return o.processTCP(ts)
+	}
+	return trace.Visit{}, false
+}
+
+// processTCP handles client→server TCP segments, buffering stream bytes
+// until a ClientHello SNI parses.
+func (o *Observer) processTCP(ts int64) (trace.Visit, bool) {
+	p := &o.pkt
+	key := FlowKey{
+		Src: p.SrcAddr(), Dst: p.DstAddr(),
+		SrcPort: p.TCP.SrcPort, DstPort: p.TCP.DstPort,
+		Proto: ProtoTCP,
+	}
+	st := o.flows[key]
+	if st == nil {
+		st = &flowState{asm: newStreamAssembler()}
+		o.flows[key] = st
+		o.Stats.FlowsTracked++
+		o.maybeEvict(ts)
+	}
+	st.lastSeen = ts
+	if st.done {
+		return trace.Visit{}, false
+	}
+	if p.TCP.Flags&TCPFlagSYN != 0 {
+		st.asm.SYN(p.TCP.Seq)
+	}
+	if len(p.Payload) == 0 {
+		return trace.Visit{}, false
+	}
+	// Sequence-aware reassembly: reordered, duplicated or overlapping
+	// segments are spliced back into the in-order stream prefix.
+	if !st.asm.Add(p.TCP.Seq, p.Payload) {
+		st.done = true
+		st.asm.Release()
+		return trace.Visit{}, false
+	}
+	host, err := ParseSNI(st.asm.Bytes())
+	switch {
+	case err == nil:
+		st.done = true
+		st.asm.Release()
+		o.Stats.TLSVisits++
+		return trace.Visit{User: o.cfg.UserOf(p.SrcAddr()), Time: ts, Host: host}, true
+	case errors.Is(err, ErrNeedMore):
+		return trace.Visit{}, false
+	case errors.Is(err, ErrNoSNI):
+		st.done = true
+		st.asm.Release()
+		if o.cfg.IPFallback {
+			// ECH or SNI-less hello: fall back to the destination
+			// address, or a hostname learned from DNS responses.
+			o.Stats.IPFallbacks++
+			return trace.Visit{User: o.cfg.UserOf(p.SrcAddr()), Time: ts, Host: o.hostForAddr(p.DstAddr())}, true
+		}
+		return trace.Visit{}, false
+	default:
+		// Not a ClientHello (or hopeless): stop buffering this flow.
+		st.done = true
+		st.asm.Release()
+		return trace.Visit{}, false
+	}
+}
+
+// hostForAddr resolves a destination address to a hostname learned from
+// observed DNS responses, falling back to the raw IP token.
+func (o *Observer) hostForAddr(addr [16]byte) string {
+	if h, ok := o.ipToHost[addr]; ok {
+		o.Stats.ResolvedFallbacks++
+		return h
+	}
+	return IPToken(addr)
+}
+
+// IPToken renders an address (in Packet encoding) as the pseudo-hostname
+// used when no SNI is readable.
+func IPToken(a [16]byte) string {
+	if a[15] == 4 {
+		return fmt.Sprintf("ip-%d.%d.%d.%d", a[0], a[1], a[2], a[3])
+	}
+	return fmt.Sprintf("ip6-%x", a)
+}
+
+// learnDNSResponse records the answer addresses of a DNS response.
+func (o *Observer) learnDNSResponse(datagram []byte) {
+	host, addrs, err := ParseDNSResponse(datagram)
+	if err != nil {
+		return
+	}
+	for _, a := range addrs {
+		o.ipToHost[a] = host
+		o.Stats.DNSMappings++
+	}
+}
+
+// maybeEvict drops flows idle longer than the timeout; called on flow
+// creation so the map stays bounded by concurrent-flow count.
+func (o *Observer) maybeEvict(now int64) {
+	if len(o.flows)%1024 != 0 {
+		return
+	}
+	for k, st := range o.flows {
+		if now-st.lastSeen > o.cfg.FlowTimeout {
+			delete(o.flows, k)
+			o.Stats.FlowsEvicted++
+		}
+	}
+}
+
+// ActiveFlows returns the number of tracked flows (diagnostics).
+func (o *Observer) ActiveFlows() int { return len(o.flows) }
+
+// ObserveAll runs every (packet, timestamp) pair through the observer and
+// collects the extracted visits into a trace.
+func (o *Observer) ObserveAll(packets [][]byte, times []int64) *trace.Trace {
+	tr := trace.New(nil)
+	for i, pkt := range packets {
+		var ts int64
+		if i < len(times) {
+			ts = times[i]
+		}
+		if v, ok := o.ProcessPacket(pkt, ts); ok {
+			tr.Append(v)
+		}
+	}
+	return tr
+}

@@ -1,0 +1,352 @@
+package sniffer
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"hostprof/internal/stats"
+)
+
+// QUIC v1 constants (RFC 9000 / RFC 9001).
+var quicV1InitialSalt = []byte{
+	0x38, 0x76, 0x2c, 0xf7, 0xf5, 0x59, 0x34, 0xb3,
+	0x4d, 0x17, 0x9a, 0xe6, 0xa4, 0xc8, 0x0c, 0xad,
+	0xcc, 0xbb, 0x7f, 0x0a,
+}
+
+const (
+	quicVersion1      = 0x00000001
+	quicMinInitialUDP = 1200
+	frameTypePadding  = 0x00
+	frameTypePing     = 0x01
+	frameTypeCrypto   = 0x06
+)
+
+// QUIC errors.
+var (
+	// ErrNotQUICInitial marks a datagram that is not a QUIC v1 client
+	// Initial packet.
+	ErrNotQUICInitial = errors.New("sniffer: not a QUIC v1 Initial packet")
+	// ErrQUICDecrypt marks an Initial whose payload failed AEAD
+	// verification.
+	ErrQUICDecrypt = errors.New("sniffer: QUIC Initial decryption failed")
+)
+
+// appendVarint encodes v as a QUIC variable-length integer (RFC 9000 §16).
+func appendVarint(buf []byte, v uint64) []byte {
+	switch {
+	case v < 1<<6:
+		return append(buf, byte(v))
+	case v < 1<<14:
+		return append(buf, byte(v>>8)|0x40, byte(v))
+	case v < 1<<30:
+		return append(buf, byte(v>>24)|0x80, byte(v>>16), byte(v>>8), byte(v))
+	default:
+		return append(buf,
+			byte(v>>56)|0xc0, byte(v>>48), byte(v>>40), byte(v>>32),
+			byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	}
+}
+
+// readVarint decodes a QUIC varint, returning the value and bytes used.
+func readVarint(b []byte) (uint64, int, error) {
+	if len(b) == 0 {
+		return 0, 0, ErrTruncated
+	}
+	n := 1 << (b[0] >> 6)
+	if len(b) < n {
+		return 0, 0, ErrTruncated
+	}
+	v := uint64(b[0] & 0x3f)
+	for i := 1; i < n; i++ {
+		v = v<<8 | uint64(b[i])
+	}
+	return v, n, nil
+}
+
+// initialKeys holds the derived client Initial protection material.
+type initialKeys struct {
+	key, iv, hp []byte
+}
+
+// deriveClientInitialKeys derives the client-side Initial keys from the
+// Destination Connection ID, per RFC 9001 Section 5.2.
+func deriveClientInitialKeys(dcid []byte) initialKeys {
+	initial := hkdfExtract(quicV1InitialSalt, dcid)
+	client := hkdfExpandLabel(initial, "client in", nil, 32)
+	return initialKeys{
+		key: hkdfExpandLabel(client, "quic key", nil, 16),
+		iv:  hkdfExpandLabel(client, "quic iv", nil, 12),
+		hp:  hkdfExpandLabel(client, "quic hp", nil, 16),
+	}
+}
+
+// aeadSeal encrypts plaintext with AES-128-GCM using nonce = iv XOR pn.
+func (k initialKeys) aeadSeal(pn uint64, header, plaintext []byte) ([]byte, error) {
+	block, err := aes.NewCipher(k.key)
+	if err != nil {
+		return nil, err
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	nonce := k.nonce(pn)
+	return aead.Seal(nil, nonce, plaintext, header), nil
+}
+
+// aeadOpen decrypts ciphertext produced by aeadSeal.
+func (k initialKeys) aeadOpen(pn uint64, header, ciphertext []byte) ([]byte, error) {
+	block, err := aes.NewCipher(k.key)
+	if err != nil {
+		return nil, err
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	pt, err := aead.Open(nil, k.nonce(pn), ciphertext, header)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrQUICDecrypt, err)
+	}
+	return pt, nil
+}
+
+func (k initialKeys) nonce(pn uint64) []byte {
+	nonce := append([]byte(nil), k.iv...)
+	var pnb [8]byte
+	binary.BigEndian.PutUint64(pnb[:], pn)
+	for i := 0; i < 8; i++ {
+		nonce[len(nonce)-8+i] ^= pnb[i]
+	}
+	return nonce
+}
+
+// hpMask computes the 5-byte header-protection mask from a 16-byte
+// ciphertext sample (RFC 9001 Section 5.4.3, AES-based).
+func (k initialKeys) hpMask(sample []byte) ([5]byte, error) {
+	var mask [5]byte
+	block, err := aes.NewCipher(k.hp)
+	if err != nil {
+		return mask, err
+	}
+	var out [16]byte
+	block.Encrypt(out[:], sample[:16])
+	copy(mask[:], out[:5])
+	return mask, nil
+}
+
+// BuildQUICInitial renders a protected QUIC v1 client Initial datagram
+// whose CRYPTO frames carry the TLS ClientHello for sni. The datagram is
+// padded to the 1200-byte minimum. rng supplies connection IDs and the
+// client random.
+func BuildQUICInitial(sni string, rng *stats.RNG) ([]byte, error) {
+	// Connection IDs.
+	dcid := make([]byte, 8)
+	scid := make([]byte, 8)
+	binary.BigEndian.PutUint64(dcid, rng.Uint64())
+	binary.BigEndian.PutUint64(scid, rng.Uint64())
+
+	// ClientHello as a raw handshake message (QUIC carries no TLS
+	// record layer): strip the 5-byte record header.
+	rec := BuildClientHello(sni, rng)
+	hello := rec[5:]
+
+	// CRYPTO frame.
+	payload := make([]byte, 0, quicMinInitialUDP)
+	payload = append(payload, frameTypeCrypto)
+	payload = appendVarint(payload, 0)
+	payload = appendVarint(payload, uint64(len(hello)))
+	payload = append(payload, hello...)
+
+	const pnLen = 2
+	pn := uint64(rng.Intn(1 << 15))
+
+	// Compute header size to pad the plaintext so the final datagram
+	// reaches the UDP minimum.
+	headerLen := func(plainLen int) int {
+		h := 1 + 4 + 1 + len(dcid) + 1 + len(scid) + 1 // first, version, cids, token len
+		lenField := len(appendVarint(nil, uint64(pnLen+plainLen+16)))
+		return h + lenField + pnLen
+	}
+	for headerLen(len(payload))+len(payload)+16 < quicMinInitialUDP {
+		payload = append(payload, frameTypePadding)
+	}
+
+	// Unprotected header.
+	hdr := make([]byte, 0, 64)
+	first := byte(0xc0 | (pnLen - 1)) // long header, Initial, pn length bits
+	hdr = append(hdr, first)
+	hdr = binary.BigEndian.AppendUint32(hdr, quicVersion1)
+	hdr = append(hdr, byte(len(dcid)))
+	hdr = append(hdr, dcid...)
+	hdr = append(hdr, byte(len(scid)))
+	hdr = append(hdr, scid...)
+	hdr = appendVarint(hdr, 0) // token length
+	hdr = appendVarint(hdr, uint64(pnLen+len(payload)+16))
+	pnOffset := len(hdr)
+	hdr = binary.BigEndian.AppendUint16(hdr, uint16(pn))
+
+	keys := deriveClientInitialKeys(dcid)
+	ct, err := keys.aeadSeal(pn, hdr, payload)
+	if err != nil {
+		return nil, fmt.Errorf("sniffer: sealing Initial: %w", err)
+	}
+	pkt := append(hdr, ct...)
+
+	// Header protection.
+	sample := pkt[pnOffset+4 : pnOffset+20]
+	mask, err := keys.hpMask(sample)
+	if err != nil {
+		return nil, err
+	}
+	pkt[0] ^= mask[0] & 0x0f
+	for i := 0; i < pnLen; i++ {
+		pkt[pnOffset+i] ^= mask[1+i]
+	}
+	return pkt, nil
+}
+
+// ParseQUICInitialSNI recovers the SNI from a protected QUIC v1 client
+// Initial datagram: it derives the Initial keys from the DCID, removes
+// header protection, decrypts the payload, reassembles the CRYPTO stream
+// and parses the ClientHello — exactly what an on-path observer does.
+func ParseQUICInitialSNI(datagram []byte) (string, error) {
+	if len(datagram) < 7 {
+		return "", fmt.Errorf("%w: short datagram", ErrNotQUICInitial)
+	}
+	first := datagram[0]
+	if first&0x80 == 0 {
+		return "", fmt.Errorf("%w: short header", ErrNotQUICInitial)
+	}
+	if v := binary.BigEndian.Uint32(datagram[1:5]); v != quicVersion1 {
+		return "", fmt.Errorf("%w: version %#08x", ErrNotQUICInitial, v)
+	}
+	if (first>>4)&0x03 != 0 { // long packet type must be Initial (00)
+		return "", fmt.Errorf("%w: long header type %d", ErrNotQUICInitial, (first>>4)&0x03)
+	}
+	off := 5
+	if off >= len(datagram) {
+		return "", fmt.Errorf("%w: dcid", ErrTruncated)
+	}
+	dcidLen := int(datagram[off])
+	off++
+	if off+dcidLen > len(datagram) {
+		return "", fmt.Errorf("%w: dcid", ErrTruncated)
+	}
+	dcid := datagram[off : off+dcidLen]
+	off += dcidLen
+	if off >= len(datagram) {
+		return "", fmt.Errorf("%w: scid", ErrTruncated)
+	}
+	scidLen := int(datagram[off])
+	off++
+	if off+scidLen > len(datagram) {
+		return "", fmt.Errorf("%w: scid", ErrTruncated)
+	}
+	off += scidLen
+	tokenLen, n, err := readVarint(datagram[off:])
+	if err != nil {
+		return "", err
+	}
+	off += n + int(tokenLen)
+	if off > len(datagram) {
+		return "", fmt.Errorf("%w: token", ErrTruncated)
+	}
+	length, n, err := readVarint(datagram[off:])
+	if err != nil {
+		return "", err
+	}
+	off += n
+	pnOffset := off
+	if pnOffset+20 > len(datagram) {
+		return "", fmt.Errorf("%w: too short for header protection sample", ErrTruncated)
+	}
+
+	keys := deriveClientInitialKeys(dcid)
+	sample := datagram[pnOffset+4 : pnOffset+20]
+	mask, err := keys.hpMask(sample)
+	if err != nil {
+		return "", err
+	}
+	// Work on a copy: the observer must not mutate captured bytes.
+	pkt := append([]byte(nil), datagram...)
+	pkt[0] ^= mask[0] & 0x0f
+	pnLen := int(pkt[0]&0x03) + 1
+	var pn uint64
+	for i := 0; i < pnLen; i++ {
+		pkt[pnOffset+i] ^= mask[1+i]
+		pn = pn<<8 | uint64(pkt[pnOffset+i])
+	}
+	payloadStart := pnOffset + pnLen
+	payloadEnd := pnOffset + int(length)
+	if payloadEnd > len(pkt) || payloadStart >= payloadEnd {
+		return "", fmt.Errorf("%w: length field", ErrTruncated)
+	}
+	header := pkt[:payloadStart]
+	plaintext, err := keys.aeadOpen(pn, header, pkt[payloadStart:payloadEnd])
+	if err != nil {
+		return "", err
+	}
+
+	crypto, err := reassembleCrypto(plaintext)
+	if err != nil {
+		return "", err
+	}
+	return parseClientHelloSNI(crypto)
+}
+
+// cryptoChunk is one CRYPTO frame's data at its stream offset.
+type cryptoChunk struct {
+	off  uint64
+	data []byte
+}
+
+// reassembleCrypto walks the frames of a decrypted Initial payload and
+// concatenates the CRYPTO stream.
+func reassembleCrypto(payload []byte) ([]byte, error) {
+	var chunks []cryptoChunk
+	for len(payload) > 0 {
+		switch payload[0] {
+		case frameTypePadding, frameTypePing:
+			payload = payload[1:]
+		case frameTypeCrypto:
+			payload = payload[1:]
+			off, n, err := readVarint(payload)
+			if err != nil {
+				return nil, err
+			}
+			payload = payload[n:]
+			l, n, err := readVarint(payload)
+			if err != nil {
+				return nil, err
+			}
+			payload = payload[n:]
+			if uint64(len(payload)) < l {
+				return nil, fmt.Errorf("%w: crypto frame", ErrTruncated)
+			}
+			chunks = append(chunks, cryptoChunk{off: off, data: payload[:l]})
+			payload = payload[l:]
+		default:
+			// Unknown frame type in an Initial we synthesized —
+			// treat as corrupt rather than guessing lengths.
+			return nil, fmt.Errorf("%w: frame type %#02x", ErrNotQUICInitial, payload[0])
+		}
+	}
+	if len(chunks) == 0 {
+		return nil, fmt.Errorf("%w: no CRYPTO frames", ErrNotQUICInitial)
+	}
+	sort.Slice(chunks, func(i, j int) bool { return chunks[i].off < chunks[j].off })
+	var out []byte
+	for _, c := range chunks {
+		if uint64(len(out)) != c.off {
+			return nil, fmt.Errorf("%w: CRYPTO stream gap at %d", ErrTruncated, c.off)
+		}
+		out = append(out, c.data...)
+	}
+	return out, nil
+}

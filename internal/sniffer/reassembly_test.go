@@ -1,0 +1,238 @@
+package sniffer
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"hostprof/internal/stats"
+	"hostprof/internal/trace"
+)
+
+func TestAssemblerInOrder(t *testing.T) {
+	a := newStreamAssembler()
+	a.SYN(100)
+	if !a.Add(101, []byte("hello ")) || !a.Add(107, []byte("world")) {
+		t.Fatal("add failed")
+	}
+	if string(a.Bytes()) != "hello world" {
+		t.Fatalf("assembled %q", a.Bytes())
+	}
+}
+
+func TestAssemblerOutOfOrder(t *testing.T) {
+	a := newStreamAssembler()
+	a.SYN(0)
+	a.Add(7, []byte("world"))
+	if len(a.Bytes()) != 0 {
+		t.Fatal("gap data surfaced early")
+	}
+	a.Add(1, []byte("hello "))
+	if string(a.Bytes()) != "hello world" {
+		t.Fatalf("assembled %q", a.Bytes())
+	}
+}
+
+func TestAssemblerDuplicateAndOverlap(t *testing.T) {
+	a := newStreamAssembler()
+	a.SYN(10)
+	a.Add(11, []byte("abcdef"))
+	a.Add(11, []byte("abcdef")) // exact retransmit
+	a.Add(14, []byte("defghi")) // overlapping extension
+	if string(a.Bytes()) != "abcdefghi" {
+		t.Fatalf("assembled %q", a.Bytes())
+	}
+}
+
+func TestAssemblerThreeWayShuffle(t *testing.T) {
+	a := newStreamAssembler()
+	a.SYN(0)
+	a.Add(7, []byte("GHI")) // rel offset 6
+	a.Add(1, []byte("ABC"))
+	a.Add(4, []byte("DEFXX")[:3]) // "DEF"
+	if string(a.Bytes()) != "ABCDEFGHI" {
+		t.Fatalf("assembled %q", a.Bytes())
+	}
+}
+
+func TestAssemblerMidStreamWithoutSYN(t *testing.T) {
+	a := newStreamAssembler()
+	a.Add(5000, []byte("start"))
+	if string(a.Bytes()) != "start" {
+		t.Fatalf("mid-stream bootstrap got %q", a.Bytes())
+	}
+	a.Add(5005, []byte("-more"))
+	if string(a.Bytes()) != "start-more" {
+		t.Fatalf("assembled %q", a.Bytes())
+	}
+}
+
+func TestAssemblerBuffersBounded(t *testing.T) {
+	a := newStreamAssembler()
+	a.SYN(0)
+	// A far-future segment beyond the limit must be rejected.
+	if a.Add(uint32(assemblerLimit)+100, []byte("x")) {
+		t.Fatal("accepted segment beyond the buffer limit")
+	}
+	// Pending bytes are capped too.
+	b := newStreamAssembler()
+	b.SYN(0)
+	chunk := bytes.Repeat([]byte{1}, 4096)
+	ok := true
+	for i := 0; i < 8 && ok; i++ {
+		ok = b.Add(uint32(2+i*5000), chunk)
+	}
+	if ok {
+		t.Fatal("pending buffer grew without bound")
+	}
+}
+
+// Property: any segmentation + permutation of a byte stream reassembles
+// to a prefix of the original (fully, once all segments are in).
+func TestAssemblerPermutationQuick(t *testing.T) {
+	rng := stats.NewRNG(99)
+	f := func(data []byte, seed uint16) bool {
+		if len(data) == 0 || len(data) > 2000 {
+			return true
+		}
+		// Cut into 1-64 byte segments.
+		type seg struct {
+			off int
+			b   []byte
+		}
+		var segs []seg
+		r := stats.NewRNG(uint64(seed))
+		for off := 0; off < len(data); {
+			n := 1 + r.Intn(64)
+			if off+n > len(data) {
+				n = len(data) - off
+			}
+			segs = append(segs, seg{off, data[off : off+n]})
+			off += n
+		}
+		r.Shuffle(len(segs), func(i, j int) { segs[i], segs[j] = segs[j], segs[i] })
+		a := newStreamAssembler()
+		a.SYN(1000)
+		for _, sg := range segs {
+			if !a.Add(1001+uint32(sg.off), sg.b) {
+				return false
+			}
+		}
+		return bytes.Equal(a.Bytes(), data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+	_ = rng
+}
+
+func TestObserverHandlesReorderedClientHello(t *testing.T) {
+	tr := trace.New([]trace.Visit{
+		{User: 1, Time: 5, Host: "reorder.example"},
+		{User: 2, Time: 6, Host: "reorder2.example"},
+	})
+	syn := NewSynthesizer(WireConfig{
+		Channel: ChannelTLS, SplitProb: 1, ReorderProb: 1, Seed: 13,
+	})
+	cap, err := syn.SynthesizeTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := NewObserver(ObserverConfig{})
+	got := obs.ObserveAll(cap.Packets, cap.Times)
+	if got.Len() != 2 {
+		t.Fatalf("recovered %d/2 reordered visits", got.Len())
+	}
+	if got.Visits()[0].Host != "reorder.example" {
+		t.Fatalf("host %q", got.Visits()[0].Host)
+	}
+}
+
+func TestDNSResponseRoundTrip(t *testing.T) {
+	resp, err := BuildDNSResponse("maps.example", 0x42, [4]byte{93, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, addrs, err := ParseDNSResponse(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if host != "maps.example" || len(addrs) != 1 {
+		t.Fatalf("host=%q addrs=%d", host, len(addrs))
+	}
+	want := [16]byte{93, 1, 2, 3}
+	want[15] = 4
+	if addrs[0] != want {
+		t.Fatalf("addr %v", addrs[0])
+	}
+	// Queries are rejected.
+	q, _ := BuildDNSQuery("maps.example", 0x42)
+	if _, _, err := ParseDNSResponse(q); err == nil {
+		t.Fatal("query accepted as response")
+	}
+}
+
+func TestObserverLearnsDNSAndResolvesECH(t *testing.T) {
+	// The observer watches the DNS lookup preceding an ECH connection
+	// and recovers the *real hostname* despite the encrypted hello.
+	tr := trace.New([]trace.Visit{
+		{User: 3, Time: 10, Host: "private.example"},
+	})
+	syn := NewSynthesizer(WireConfig{
+		Channel: ChannelECH, DNSLookupProb: 1, Seed: 17,
+	})
+	cap, err := syn.SynthesizeTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := NewObserver(ObserverConfig{IPFallback: true})
+	got := obs.ObserveAll(cap.Packets, cap.Times)
+	// Two visits: the DNS query itself plus the resolved ECH flow.
+	if got.Len() != 2 {
+		t.Fatalf("recovered %d visits", got.Len())
+	}
+	for _, v := range got.Visits() {
+		if v.Host != "private.example" {
+			t.Fatalf("host %q, want real hostname via learned DNS mapping", v.Host)
+		}
+	}
+	if obs.Stats.ResolvedFallbacks != 1 || obs.Stats.DNSMappings == 0 {
+		t.Fatalf("stats %+v", obs.Stats)
+	}
+}
+
+func TestObserverECHWithoutDNSStaysIPToken(t *testing.T) {
+	tr := trace.New([]trace.Visit{{User: 3, Time: 10, Host: "private.example"}})
+	syn := NewSynthesizer(WireConfig{Channel: ChannelECH, Seed: 19})
+	cap, err := syn.SynthesizeTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := NewObserver(ObserverConfig{IPFallback: true})
+	got := obs.ObserveAll(cap.Packets, cap.Times)
+	if got.Len() != 1 {
+		t.Fatalf("recovered %d visits", got.Len())
+	}
+	if h := got.Visits()[0].Host; h == "private.example" {
+		t.Fatal("hostname recovered without any DNS leak — impossible")
+	} else if h[:3] != "ip-" {
+		t.Fatalf("expected IP token, got %q", h)
+	}
+}
+
+func TestSkipDNSName(t *testing.T) {
+	resp, _ := BuildDNSResponse("a.b.example", 1, [4]byte{1, 2, 3, 4})
+	// Answer name is a 2-byte pointer at its position; full question
+	// name is labels. Exercise both paths via the parser (already done)
+	// plus direct calls.
+	n, err := skipDNSName(resp, 12) // question name
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len("a")+1+len("b")+1+len("example")+1+1 {
+		t.Fatalf("skip = %d", n)
+	}
+	if _, err := skipDNSName([]byte{5, 'a'}, 0); err == nil {
+		t.Fatal("unterminated name accepted")
+	}
+}

@@ -1,0 +1,157 @@
+package sniffer
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"hostprof/internal/pcap"
+	"hostprof/internal/stats"
+)
+
+// A passive observer parses whatever the network throws at it; none of
+// the parsers may panic on arbitrary bytes. Each property simply runs the
+// parser and reports success — the panic, if any, fails the test.
+
+func TestDecodePacketNeverPanics(t *testing.T) {
+	var p Packet
+	f := func(data []byte) bool {
+		_ = DecodePacket(data, &p)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseSNINeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = ParseSNI(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Mutated-but-plausible TLS records are the nastier case: correct outer
+// framing with corrupted interiors.
+func TestParseSNISurvivesMutations(t *testing.T) {
+	rng := stats.NewRNG(1)
+	rec := BuildClientHello("mutate.example", rng)
+	for trial := 0; trial < 4000; trial++ {
+		m := append([]byte(nil), rec...)
+		// Flip 1-4 random bytes.
+		for k := 0; k < 1+int(rng.Uint64()%4); k++ {
+			m[rng.Intn(len(m))] ^= byte(rng.Uint64())
+		}
+		_, _ = ParseSNI(m) // must not panic
+	}
+}
+
+func TestParseQUICInitialNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = ParseQUICInitialSNI(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseQUICInitialSurvivesMutations(t *testing.T) {
+	rng := stats.NewRNG(2)
+	pkt, err := BuildQUICInitial("mutate.example", rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 1000; trial++ {
+		m := append([]byte(nil), pkt...)
+		for k := 0; k < 1+int(rng.Uint64()%4); k++ {
+			m[rng.Intn(len(m))] ^= byte(rng.Uint64())
+		}
+		_, _ = ParseQUICInitialSNI(m)
+	}
+}
+
+func TestParseDNSNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = ParseDNSQueryName(data)
+		_, _, _ = ParseDNSResponse(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObserverNeverPanicsOnGarbage(t *testing.T) {
+	obs := NewObserver(ObserverConfig{IPFallback: true})
+	f := func(data []byte, ts int16) bool {
+		_, _ = obs.ProcessPacket(data, int64(ts))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Truncations of valid frames exercise every length check.
+func TestObserverSurvivesTruncatedFrames(t *testing.T) {
+	rng := stats.NewRNG(3)
+	hello := BuildClientHello("trunc.example", rng)
+	frame := tcpFrame([4]byte{10, 0, 1, 1}, [4]byte{93, 0, 0, 1}, 50000, 443, 1, 2,
+		TCPFlagACK|TCPFlagPSH, hello)
+	ini, err := BuildQUICInitial("trunc.example", rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uframe := udpFrame([4]byte{10, 0, 1, 1}, [4]byte{93, 0, 0, 1}, 50001, 443, ini)
+	obs := NewObserver(ObserverConfig{})
+	for _, full := range [][]byte{frame, uframe} {
+		for cut := 0; cut <= len(full); cut++ {
+			obs.ProcessPacket(full[:cut], 0)
+		}
+	}
+}
+
+func TestPcapReaderNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		r, err := pcap.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return true
+		}
+		for i := 0; i < 100; i++ {
+			if _, err := r.Next(); err != nil {
+				break
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Truncations of a valid capture file.
+func TestPcapReaderSurvivesTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w := pcap.NewWriter(&buf)
+	for i := 0; i < 3; i++ {
+		if err := w.WriteRecord(uint32(i), 0, []byte{1, 2, 3, 4, 5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full := buf.Bytes()
+	for cut := 0; cut <= len(full); cut++ {
+		r, err := pcap.NewReader(bytes.NewReader(full[:cut]))
+		if err != nil {
+			continue
+		}
+		for {
+			if _, err := r.Next(); err != nil {
+				break
+			}
+		}
+	}
+}

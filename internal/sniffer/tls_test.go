@@ -1,0 +1,163 @@
+package sniffer
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"hostprof/internal/stats"
+)
+
+func TestBuildAndParseSNI(t *testing.T) {
+	rng := stats.NewRNG(1)
+	for _, host := range []string{
+		"example.com",
+		"api.bkng.azure.example",
+		"a.b.c.d.e.f.example",
+		"x.io",
+	} {
+		rec := BuildClientHello(host, rng)
+		got, err := ParseSNI(rec)
+		if err != nil {
+			t.Fatalf("%s: %v", host, err)
+		}
+		if got != host {
+			t.Fatalf("got %q, want %q", got, host)
+		}
+	}
+}
+
+func TestParseSNINeedMore(t *testing.T) {
+	rng := stats.NewRNG(2)
+	rec := BuildClientHello("streaming.example", rng)
+	for _, cut := range []int{0, 3, 5, 20, len(rec) / 2, len(rec) - 1} {
+		if _, err := ParseSNI(rec[:cut]); !errors.Is(err, ErrNeedMore) {
+			t.Fatalf("cut=%d: err = %v, want ErrNeedMore", cut, err)
+		}
+	}
+}
+
+func TestParseSNIIncremental(t *testing.T) {
+	// Feed the record byte by byte: must return ErrNeedMore until the
+	// exact completion point, then succeed.
+	rng := stats.NewRNG(3)
+	rec := BuildClientHello("inc.example", rng)
+	for cut := 0; cut < len(rec); cut++ {
+		_, err := ParseSNI(rec[:cut])
+		if err == nil {
+			t.Fatalf("parsed successfully at cut %d < %d", cut, len(rec))
+		}
+		if !errors.Is(err, ErrNeedMore) {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+	}
+	if _, err := ParseSNI(rec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseSNINotTLS(t *testing.T) {
+	if _, err := ParseSNI([]byte("GET / HTTP/1.1\r\nHost: x\r\n\r\n")); !errors.Is(err, ErrNotClientHello) {
+		t.Fatalf("err = %v", err)
+	}
+	// Wrong record version byte.
+	bad := []byte{0x16, 0x02, 0x01, 0x00, 0x05, 1, 2, 3, 4, 5}
+	if _, err := ParseSNI(bad); !errors.Is(err, ErrNotClientHello) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestParseSNIFragmentedRecords(t *testing.T) {
+	// Split one handshake message across two TLS records, as permitted
+	// by RFC 8446 Section 5.1.
+	rng := stats.NewRNG(4)
+	rec := BuildClientHello("fragmented.example", rng)
+	hs := rec[5:]
+	cut := len(hs) / 2
+	var stream []byte
+	for _, part := range [][]byte{hs[:cut], hs[cut:]} {
+		stream = append(stream, 0x16, 0x03, 0x01, byte(len(part)>>8), byte(len(part)))
+		stream = append(stream, part...)
+	}
+	got, err := ParseSNI(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "fragmented.example" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestParseSNITrailingDataIgnored(t *testing.T) {
+	rng := stats.NewRNG(5)
+	rec := BuildClientHello("trail.example", rng)
+	rec = append(rec, 0x17, 0x03, 0x03, 0x00, 0x02, 0xde, 0xad) // appdata record after
+	got, err := ParseSNI(rec)
+	if err != nil || got != "trail.example" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
+func TestParseSNIHandshakeWithoutSNI(t *testing.T) {
+	// Build a hello then strip extensions entirely: minimal ClientHello
+	// body (version+random+session+suites+compression) with no
+	// extensions block.
+	body := make([]byte, 0, 64)
+	body = append(body, 0x03, 0x03)
+	body = append(body, make([]byte, 32)...) // random
+	body = append(body, 0)                   // empty session id
+	body = append(body, 0x00, 0x02, 0x13, 0x01)
+	body = append(body, 1, 0)
+	hs := append([]byte{0x01, 0, 0, byte(len(body))}, body...)
+	rec := append([]byte{0x16, 0x03, 0x01, 0, byte(len(hs))}, hs...)
+	if _, err := ParseSNI(rec); !errors.Is(err, ErrNoSNI) {
+		t.Fatalf("err = %v, want ErrNoSNI", err)
+	}
+}
+
+func TestParseSNIRejectsServerHello(t *testing.T) {
+	rng := stats.NewRNG(6)
+	rec := BuildClientHello("x.example", rng)
+	rec[5] = 0x02 // handshake type ServerHello
+	if _, err := ParseSNI(rec); !errors.Is(err, ErrNotClientHello) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBuildClientHelloRandomized(t *testing.T) {
+	rng := stats.NewRNG(7)
+	a := BuildClientHello("same.example", rng)
+	b := BuildClientHello("same.example", rng)
+	if string(a) == string(b) {
+		t.Fatal("client randoms repeat")
+	}
+	if len(a) != len(b) {
+		t.Fatal("layout should be stable for equal SNI length")
+	}
+}
+
+// Property: any hostname assembled from DNS-safe labels round-trips.
+func TestSNIRoundTripQuick(t *testing.T) {
+	rng := stats.NewRNG(8)
+	f := func(raw []uint8) bool {
+		host := ""
+		for i, b := range raw {
+			if i >= 6 {
+				break
+			}
+			if i > 0 {
+				host += "."
+			}
+			host += string(rune('a'+b%26)) + string(rune('a'+(b>>4)%16))
+		}
+		if host == "" {
+			host = "h.example"
+		}
+		rec := BuildClientHello(host, rng)
+		got, err := ParseSNI(rec)
+		return err == nil && got == host
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased (n-1) sample variance of xs, or 0 when
+// fewer than two samples are given.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. It returns 0 for an empty slice.
+// xs is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// CCDFPoint is one point of a complementary CDF: the fraction of samples
+// with Value >= X.
+type CCDFPoint struct {
+	X    float64 // threshold
+	Frac float64 // fraction of samples >= X, in [0, 1]
+}
+
+// CCDF computes the complementary cumulative distribution ("survival
+// function") of xs evaluated at every distinct sample value, sorted by X
+// ascending. For each returned point, Frac is the fraction of samples whose
+// value is >= X — matching the paper's "% of users visiting at least N
+// hostnames" axes in Figures 2 and 3.
+func CCDF(xs []float64) []CCDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := float64(len(s))
+	var out []CCDFPoint
+	for i := 0; i < len(s); {
+		j := i
+		for j < len(s) && s[j] == s[i] {
+			j++
+		}
+		out = append(out, CCDFPoint{X: s[i], Frac: float64(len(s)-i) / n})
+		i = j
+	}
+	return out
+}
+
+// CCDFAt evaluates the fraction of samples in xs that are >= x.
+func CCDFAt(xs []float64, x float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var c int
+	for _, v := range xs {
+		if v >= x {
+			c++
+		}
+	}
+	return float64(c) / float64(len(xs))
+}
+
+// Histogram counts xs into k equal-width bins spanning [min, max]. Values
+// outside the range are clamped into the edge bins.
+func Histogram(xs []float64, k int, min, max float64) []int {
+	if k <= 0 || max <= min {
+		return nil
+	}
+	bins := make([]int, k)
+	w := (max - min) / float64(k)
+	for _, x := range xs {
+		i := int((x - min) / w)
+		if i < 0 {
+			i = 0
+		}
+		if i >= k {
+			i = k - 1
+		}
+		bins[i]++
+	}
+	return bins
+}

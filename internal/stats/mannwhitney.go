@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// MannWhitneyResult reports the two-sided Mann-Whitney U test (normal
+// approximation with tie correction), used as a distribution-free
+// robustness check next to the paper's paired t-test: per-user CTRs are
+// bounded, skewed proportions for which a rank test is arguably the
+// better fit.
+type MannWhitneyResult struct {
+	U float64 // statistic for the first sample
+	Z float64 // normal approximation
+	P float64 // two-sided p-value
+}
+
+// ErrMannWhitney is returned when the test is undefined for the inputs.
+var ErrMannWhitney = errors.New("stats: Mann-Whitney undefined for input")
+
+// MannWhitneyU performs the two-sided Mann-Whitney U test on independent
+// samples a and b using average ranks for ties and the tie-corrected
+// normal approximation. Both samples need at least 2 observations.
+func MannWhitneyU(a, b []float64) (MannWhitneyResult, error) {
+	n1, n2 := len(a), len(b)
+	if n1 < 2 || n2 < 2 {
+		return MannWhitneyResult{}, errors.Join(ErrMannWhitney, errors.New("need >= 2 per sample"))
+	}
+	type obs struct {
+		v     float64
+		first bool
+	}
+	all := make([]obs, 0, n1+n2)
+	for _, v := range a {
+		all = append(all, obs{v, true})
+	}
+	for _, v := range b {
+		all = append(all, obs{v, false})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	// Average ranks with tie accounting.
+	ranks := make([]float64, len(all))
+	var tieTerm float64
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		avg := float64(i+j+1) / 2 // ranks are 1-based: (i+1 + j) / 2
+		for k := i; k < j; k++ {
+			ranks[k] = avg
+		}
+		t := float64(j - i)
+		tieTerm += t*t*t - t
+		i = j
+	}
+	var r1 float64
+	for i, o := range all {
+		if o.first {
+			r1 += ranks[i]
+		}
+	}
+	u1 := r1 - float64(n1)*float64(n1+1)/2
+	n := float64(n1 + n2)
+	mu := float64(n1) * float64(n2) / 2
+	sigma2 := float64(n1) * float64(n2) / 12 * ((n + 1) - tieTerm/(n*(n-1)))
+	if sigma2 <= 0 {
+		// All observations tied: no evidence of difference.
+		return MannWhitneyResult{U: u1, Z: 0, P: 1}, nil
+	}
+	// Continuity correction toward the mean.
+	diff := u1 - mu
+	switch {
+	case diff > 0.5:
+		diff -= 0.5
+	case diff < -0.5:
+		diff += 0.5
+	default:
+		diff = 0
+	}
+	z := diff / math.Sqrt(sigma2)
+	p := 2 * normalSF(math.Abs(z))
+	if p > 1 {
+		p = 1
+	}
+	return MannWhitneyResult{U: u1, Z: z, P: p}, nil
+}
+
+// Significant reports whether the two-sided p-value falls below alpha.
+func (r MannWhitneyResult) Significant(alpha float64) bool { return r.P < alpha }
+
+// normalSF returns P(Z > z) for the standard normal distribution.
+func normalSF(z float64) float64 {
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}

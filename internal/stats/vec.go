@@ -1,0 +1,107 @@
+package stats
+
+import "math"
+
+// Dot returns the inner product of a and b, which must have equal length.
+func Dot(a, b []float64) float64 {
+	_ = b[len(a)-1] // bounds hint
+	var s float64
+	for i, x := range a {
+		s += x * b[i]
+	}
+	return s
+}
+
+// Norm returns the L2 norm of a.
+func Norm(a []float64) float64 {
+	var s float64
+	for _, x := range a {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Cosine returns the cosine similarity of a and b, or 0 when either vector
+// has zero norm.
+func Cosine(a, b []float64) float64 {
+	na := Norm(a)
+	nb := Norm(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return Dot(a, b) / (na * nb)
+}
+
+// Euclidean returns the L2 distance between a and b.
+func Euclidean(a, b []float64) float64 {
+	_ = b[len(a)-1]
+	var s float64
+	for i, x := range a {
+		d := x - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// AXPY computes y += alpha*x in place. x and y must have equal length.
+func AXPY(alpha float64, x, y []float64) {
+	_ = y[len(x)-1]
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Scale multiplies every element of x by alpha in place.
+func Scale(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Normalize scales x to unit L2 norm in place and returns the original
+// norm. A zero vector is left unchanged and 0 is returned.
+func Normalize(x []float64) float64 {
+	n := Norm(x)
+	if n == 0 {
+		return 0
+	}
+	inv := 1 / n
+	for i := range x {
+		x[i] *= inv
+	}
+	return n
+}
+
+// Sigmoid returns 1/(1+exp(-x)) computed in a numerically stable way.
+func Sigmoid(x float64) float64 {
+	if x >= 0 {
+		z := math.Exp(-x)
+		return 1 / (1 + z)
+	}
+	z := math.Exp(x)
+	return z / (1 + z)
+}
+
+// ArgMax returns the index of the largest element of xs, or -1 for an
+// empty slice. Ties resolve to the lowest index.
+func ArgMax(xs []float64) int {
+	if len(xs) == 0 {
+		return -1
+	}
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// SumPositive returns max(x, 0), the [x]+ operator from Equation (3) of
+// the paper.
+func SumPositive(x float64) float64 {
+	if x > 0 {
+		return x
+	}
+	return 0
+}

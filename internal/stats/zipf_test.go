@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZipfRange(t *testing.T) {
+	z := NewZipf(NewRNG(1), 1.1, 50)
+	for i := 0; i < 5000; i++ {
+		v := z.Draw()
+		if v < 0 || v >= 50 {
+			t.Fatalf("draw out of range: %d", v)
+		}
+	}
+}
+
+func TestZipfRankOrdering(t *testing.T) {
+	z := NewZipf(NewRNG(2), 1.0, 20)
+	counts := make([]int, 20)
+	for i := 0; i < 100000; i++ {
+		counts[z.Draw()]++
+	}
+	// Rank 0 must dominate rank 10 and rank 10 must beat rank 19.
+	if counts[0] <= counts[10] || counts[10] <= counts[19] {
+		t.Fatalf("Zipf ordering violated: %v", counts)
+	}
+	// Frequency of rank 0 should be close to theoretical probability.
+	want := z.Prob(0)
+	got := float64(counts[0]) / 100000
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("rank-0 frequency %v, want ~%v", got, want)
+	}
+}
+
+func TestZipfProbSumsToOne(t *testing.T) {
+	z := NewZipf(NewRNG(3), 1.5, 100)
+	var s float64
+	for i := 0; i < 100; i++ {
+		s += z.Prob(i)
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %v", s)
+	}
+	if z.Prob(-1) != 0 || z.Prob(100) != 0 {
+		t.Fatal("out-of-range Prob should be 0")
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewZipf(NewRNG(1), 1, 0) },
+		func() { NewZipf(NewRNG(1), 0, 10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestWeightedProportions(t *testing.T) {
+	w := NewWeighted(NewRNG(4), []float64{1, 3, 6})
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[w.Draw()]++
+	}
+	for i, want := range []float64{0.1, 0.3, 0.6} {
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("outcome %d frequency %v, want ~%v", i, got, want)
+		}
+	}
+}
+
+func TestWeightedZeroWeightNeverDrawn(t *testing.T) {
+	w := NewWeighted(NewRNG(5), []float64{0, 1, 0})
+	for i := 0; i < 1000; i++ {
+		if v := w.Draw(); v != 1 {
+			t.Fatalf("drew zero-weight outcome %d", v)
+		}
+	}
+}
+
+func TestWeightedPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewWeighted(NewRNG(1), nil) },
+		func() { NewWeighted(NewRNG(1), []float64{-1, 2}) },
+		func() { NewWeighted(NewRNG(1), []float64{0, 0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

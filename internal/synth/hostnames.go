@@ -1,0 +1,104 @@
+// Package synth generates the synthetic equivalent of the paper's
+// measurement data: a universe of hostnames (first-party sites with
+// topical ground truth, attached CDN/API support hosts, shared CDN
+// infrastructure, and advertising/tracking hosts) plus a population of
+// users whose browsing produces hostname request sequences with the same
+// statistical structure the paper's algorithm exploits — topical
+// co-browsing, site→support-host co-requests, ubiquitous tracker noise and
+// heavy-tailed site popularity.
+//
+// The paper could not publish its dataset (1329 real users over six
+// months); this package replaces it with a generator whose ground truth is
+// known, which turns the paper's qualitative claims into testable ones.
+package synth
+
+import (
+	"fmt"
+
+	"hostprof/internal/stats"
+)
+
+// syllables used to assemble plausible, collision-free domain names.
+var (
+	nameParts = []string{
+		"vista", "nova", "terra", "luna", "mundo", "zen", "flux", "byte",
+		"net", "media", "press", "daily", "meta", "core", "prime", "alto",
+		"rio", "sol", "mar", "blue", "red", "gold", "star", "cloud",
+		"viaje", "casa", "foro", "tienda", "juego", "cine", "radio",
+		"libro", "salud", "moto", "auto", "banca", "bolsa", "ruta",
+	}
+	tlds = []string{".com", ".net", ".org", ".es", ".io", ".tv", ".info", ".co"}
+)
+
+// nameGen produces unique hostnames deterministically from an RNG.
+type nameGen struct {
+	rng  *stats.RNG
+	used map[string]bool
+}
+
+func newNameGen(rng *stats.RNG) *nameGen {
+	return &nameGen{rng: rng, used: make(map[string]bool)}
+}
+
+// site returns a fresh second-level domain such as "lunapress.es".
+func (g *nameGen) site() string {
+	for {
+		a := nameParts[g.rng.Intn(len(nameParts))]
+		b := nameParts[g.rng.Intn(len(nameParts))]
+		tld := tlds[g.rng.Intn(len(tlds))]
+		name := a + b + tld
+		if !g.used[name] {
+			g.used[name] = true
+			return name
+		}
+		// Collision: append a numeric disambiguator.
+		name = fmt.Sprintf("%s%s%d%s", a, b, g.rng.Intn(1000), tld)
+		if !g.used[name] {
+			g.used[name] = true
+			return name
+		}
+	}
+}
+
+// supportPrefixes label per-site infrastructure hosts; these mimic the
+// "api.bkng.azure.com" case from the paper: hostnames that carry no
+// ontology label and no downloadable content.
+var supportPrefixes = []string{"cdn", "api", "static", "img", "assets", "ws", "media", "edge"}
+
+// support returns a support hostname for the given site domain, e.g.
+// "api.lunapress.es".
+func (g *nameGen) support(site string, k int) string {
+	p := supportPrefixes[k%len(supportPrefixes)]
+	name := p + "." + site
+	if g.used[name] {
+		name = fmt.Sprintf("%s%d.%s", p, k, site)
+	}
+	g.used[name] = true
+	return name
+}
+
+// sharedCDN returns a hostname on shared infrastructure, e.g.
+// "s3-edge7.cdnwave.net": one provider serves many unrelated sites, so
+// these hosts co-occur with everything and carry no topical signal.
+func (g *nameGen) sharedCDN(provider, node int) string {
+	name := fmt.Sprintf("s%d-edge%d.cdn%s.net", node%9, node, nameParts[provider%len(nameParts)])
+	for g.used[name] {
+		node++
+		name = fmt.Sprintf("s%d-edge%d.cdn%s.net", node%9, node, nameParts[provider%len(nameParts)])
+	}
+	g.used[name] = true
+	return name
+}
+
+// tracker returns an advertising/tracking hostname, e.g.
+// "px3.adsflux.com". These populate the synthetic blocklists.
+func (g *nameGen) tracker(network, k int) string {
+	kinds := []string{"px", "beacon", "track", "ads", "sync", "tag"}
+	name := fmt.Sprintf("%s%d.ads%s.com", kinds[k%len(kinds)], k, nameParts[network%len(nameParts)])
+	for g.used[name] {
+		k++
+		name = fmt.Sprintf("%s%d.ads%s.com", kinds[k%len(kinds)], k, nameParts[network%len(nameParts)])
+	}
+	g.used[name] = true
+	return name
+}

@@ -1,0 +1,143 @@
+package synth
+
+import (
+	"sort"
+
+	"hostprof/internal/ontology"
+	"hostprof/internal/stats"
+)
+
+// OntologyConfig controls how the synthetic "Adwords" service labels the
+// universe.
+type OntologyConfig struct {
+	// Coverage is the fraction of all hostnames that receive a label.
+	// The paper measured 10.6% for Google Adwords. Default 0.106.
+	Coverage float64
+	// SupportLabelProb is the probability that a support host gets
+	// labelled at all even when selected; real ontologies rarely cover
+	// api./cdn. hosts. Default 0.05.
+	SupportLabelProb float64
+	// Noise jitters labelled weights to model ontology imprecision.
+	// Default 0.05.
+	Noise float64
+	// Seed drives labelling randomness.
+	Seed uint64
+}
+
+func (c OntologyConfig) withDefaults() OntologyConfig {
+	if c.Coverage <= 0 {
+		c.Coverage = 0.106
+	}
+	if c.SupportLabelProb <= 0 {
+		c.SupportLabelProb = 0.05
+	}
+	if c.Noise < 0 {
+		c.Noise = 0
+	} else if c.Noise == 0 {
+		c.Noise = 0.05
+	}
+	return c
+}
+
+// BuildOntology labels a popularity-biased subset of the universe's
+// hostnames with their ground-truth categories (plus noise), reproducing
+// the partial coverage that motivates the paper's algorithm: popular
+// first-party sites are likely covered, infrastructure hosts almost never
+// are, and trackers/shared CDNs are never labelled.
+func BuildOntology(u *Universe, cfg OntologyConfig) *ontology.Ontology {
+	cfg = cfg.withDefaults()
+	rng := stats.NewRNG(cfg.Seed ^ 0x0070109)
+	ont := ontology.New(u.Tax)
+
+	budget := int(cfg.Coverage * float64(len(u.Hosts)))
+	if budget < 1 {
+		budget = 1
+	}
+
+	// Candidate site hosts ordered by popularity (most popular first):
+	// ontology coverage correlates with site prominence.
+	siteOrder := make([]int, len(u.Sites))
+	for i := range siteOrder {
+		siteOrder[i] = i
+	}
+	sort.SliceStable(siteOrder, func(a, b int) bool {
+		return u.Popularity[siteOrder[a]] > u.Popularity[siteOrder[b]]
+	})
+
+	label := func(hostID int) {
+		truth := u.GroundTruthCategories(hostID)
+		if truth == nil {
+			return
+		}
+		v := truth.Clone()
+		if cfg.Noise > 0 {
+			for i := range v {
+				if v[i] > 0 {
+					v[i] += cfg.Noise * (rng.Float64() - 0.5)
+				}
+			}
+		}
+		ont.Add(u.Hosts[hostID].Name, v)
+	}
+
+	// Coverage is popularity-biased but long-tailed, like real
+	// ontologies: roughly 60% of the budget lands on the popularity
+	// head, the rest is spread uniformly over the tail, so niche
+	// topical sites are represented too.
+	headBudget := budget * 6 / 10
+	for _, sid := range siteOrder {
+		if ont.Len() >= headBudget {
+			break
+		}
+		site := &u.Sites[sid]
+		if rng.Float64() < 0.9 {
+			label(site.Host)
+		}
+		for _, hid := range site.Support {
+			if ont.Len() >= headBudget {
+				break
+			}
+			if rng.Bool(cfg.SupportLabelProb) {
+				label(hid)
+			}
+		}
+	}
+	tail := append([]int(nil), siteOrder...)
+	rng.ShuffleInts(tail)
+	for _, sid := range tail {
+		if ont.Len() >= budget {
+			break
+		}
+		site := &u.Sites[sid]
+		if !ont.Covered(u.Hosts[site.Host].Name) {
+			label(site.Host)
+		}
+		for _, hid := range site.Support {
+			if ont.Len() >= budget {
+				break
+			}
+			if rng.Bool(cfg.SupportLabelProb) {
+				label(hid)
+			}
+		}
+	}
+	return ont
+}
+
+// BuildBlocklist returns the merged tracker blocklist for the universe —
+// the synthetic stand-in for the adaway/hpHosts/yoyo lists of Section 5.4.
+// Coverage is the fraction of tracker hosts the lists actually know about
+// (real lists are incomplete); 1.0 blocks them all.
+func BuildBlocklist(u *Universe, coverage float64, seed uint64) *ontology.Blocklist {
+	if coverage <= 0 || coverage > 1 {
+		coverage = 1
+	}
+	rng := stats.NewRNG(seed ^ 0xb10c)
+	b := ontology.NewBlocklist()
+	for _, hid := range u.TrackerIDs {
+		if rng.Float64() < coverage {
+			b.Add(u.Hosts[hid].Name)
+		}
+	}
+	return b
+}

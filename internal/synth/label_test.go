@@ -1,0 +1,115 @@
+package synth
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBuildOntologyCoverage(t *testing.T) {
+	u := NewUniverse(UniverseConfig{Sites: 400, Seed: 31})
+	ont := BuildOntology(u, OntologyConfig{Coverage: 0.106, Seed: 33})
+	cov := ont.Coverage(u.HostNames())
+	if math.Abs(cov-0.106) > 0.03 {
+		t.Fatalf("coverage = %.3f, want ~0.106", cov)
+	}
+}
+
+func TestBuildOntologyLabelsAreTruthful(t *testing.T) {
+	u := smallUniverse()
+	ont := BuildOntology(u, OntologyConfig{Coverage: 0.3, Noise: -1, Seed: 35})
+	checked := 0
+	for _, host := range ont.Hosts() {
+		h, ok := u.HostByName(host)
+		if !ok {
+			t.Fatalf("labelled host %q not in universe", host)
+		}
+		truth := u.GroundTruthCategories(h.ID)
+		if truth == nil {
+			t.Fatalf("labelled host %q has no ground truth (kind %v)", host, h.Kind)
+		}
+		v, _ := ont.Lookup(host)
+		for i := range v {
+			if (v[i] > 0) != (truth[i] > 0) {
+				t.Fatalf("label support differs from truth for %q", host)
+			}
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no labels to check")
+	}
+}
+
+func TestBuildOntologyPrefersPopularSites(t *testing.T) {
+	u := NewUniverse(UniverseConfig{Sites: 400, Seed: 37})
+	ont := BuildOntology(u, OntologyConfig{Coverage: 0.05, Seed: 39})
+	var labPop, unlabPop float64
+	var nLab, nUnlab int
+	for _, s := range u.Sites {
+		if ont.Covered(u.Hosts[s.Host].Name) {
+			labPop += u.Popularity[s.ID]
+			nLab++
+		} else {
+			unlabPop += u.Popularity[s.ID]
+			nUnlab++
+		}
+	}
+	if nLab == 0 || nUnlab == 0 {
+		t.Skip("degenerate labelling")
+	}
+	if labPop/float64(nLab) <= unlabPop/float64(nUnlab) {
+		t.Fatal("labelled sites are not more popular on average")
+	}
+}
+
+func TestBuildOntologyNeverLabelsTrackers(t *testing.T) {
+	u := smallUniverse()
+	ont := BuildOntology(u, OntologyConfig{Coverage: 0.9, Seed: 41})
+	for _, hid := range u.TrackerIDs {
+		if ont.Covered(u.Hosts[hid].Name) {
+			t.Fatal("tracker labelled")
+		}
+	}
+	for _, hid := range u.SharedCDNIDs {
+		if ont.Covered(u.Hosts[hid].Name) {
+			t.Fatal("shared CDN labelled")
+		}
+	}
+}
+
+func TestBuildOntologyVectorsValid(t *testing.T) {
+	u := smallUniverse()
+	ont := BuildOntology(u, OntologyConfig{Coverage: 0.2, Noise: 0.2, Seed: 43})
+	for _, host := range ont.Hosts() {
+		v, _ := ont.Lookup(host)
+		if !v.Valid() {
+			t.Fatalf("noisy label out of [0,1] for %q", host)
+		}
+	}
+}
+
+func TestBuildBlocklistFull(t *testing.T) {
+	u := smallUniverse()
+	b := BuildBlocklist(u, 1, 45)
+	if b.Len() != len(u.TrackerIDs) {
+		t.Fatalf("blocklist has %d entries, want %d", b.Len(), len(u.TrackerIDs))
+	}
+	for _, hid := range u.TrackerIDs {
+		if !b.Contains(u.Hosts[hid].Name) {
+			t.Fatal("tracker missing from full blocklist")
+		}
+	}
+}
+
+func TestBuildBlocklistPartial(t *testing.T) {
+	u := NewUniverse(UniverseConfig{Sites: 100, Trackers: 200, Seed: 47})
+	b := BuildBlocklist(u, 0.5, 49)
+	frac := float64(b.Len()) / float64(len(u.TrackerIDs))
+	if frac < 0.35 || frac > 0.65 {
+		t.Fatalf("partial blocklist covers %.2f, want ~0.5", frac)
+	}
+	// Out-of-range coverage falls back to full.
+	if BuildBlocklist(u, 1.5, 51).Len() != 200 {
+		t.Fatal("coverage > 1 should mean full")
+	}
+}

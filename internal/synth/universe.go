@@ -1,0 +1,319 @@
+package synth
+
+import (
+	"fmt"
+
+	"hostprof/internal/ontology"
+	"hostprof/internal/stats"
+)
+
+// HostKind classifies a hostname in the synthetic universe.
+type HostKind int
+
+// Host kinds.
+const (
+	// KindSite is a first-party website a user deliberately visits.
+	KindSite HostKind = iota
+	// KindSupport is per-site infrastructure (api./cdn./static. hosts)
+	// fetched automatically alongside its owning site.
+	KindSupport
+	// KindSharedCDN is shared infrastructure serving many unrelated
+	// sites.
+	KindSharedCDN
+	// KindTracker is an advertising/tracking host requested from most
+	// pages; the paper filters these out with blocklists.
+	KindTracker
+)
+
+// String returns a human-readable kind name.
+func (k HostKind) String() string {
+	switch k {
+	case KindSite:
+		return "site"
+	case KindSupport:
+		return "support"
+	case KindSharedCDN:
+		return "shared-cdn"
+	case KindTracker:
+		return "tracker"
+	default:
+		return fmt.Sprintf("HostKind(%d)", int(k))
+	}
+}
+
+// Host is one hostname of the universe with its ground truth.
+type Host struct {
+	ID   int
+	Name string
+	Kind HostKind
+	// Site is the owning site index for KindSite/KindSupport hosts,
+	// -1 otherwise.
+	Site int
+	// HasContent reports whether fetching the hostname's root URL would
+	// return a usable page; in the paper 67% of hostnames did not.
+	HasContent bool
+}
+
+// Site is a first-party website: a primary host, its support hosts, shared
+// CDN dependencies and a ground-truth category vector.
+type Site struct {
+	ID        int
+	Host      int   // primary host ID
+	Support   []int // per-site support host IDs
+	SharedCDN []int // shared CDN host IDs fetched with the site
+	// Categories is the ground-truth second-level category vector.
+	Categories ontology.Vector
+	// Top is the dominant top-level topic.
+	Top int
+}
+
+// UniverseConfig sizes the synthetic web.
+type UniverseConfig struct {
+	// Sites is the number of first-party websites. Default 500.
+	Sites int
+	// SupportMin/Max bound per-site infrastructure hosts. Default 1..4.
+	SupportMin, SupportMax int
+	// SharedCDNProviders and SharedCDNNodes size the shared CDN pool.
+	// Defaults 4 and 40.
+	SharedCDNProviders, SharedCDNNodes int
+	// Trackers is the number of advertising/tracking hosts. Default 60.
+	Trackers int
+	// ZipfExponent skews site popularity. Default 1.05.
+	ZipfExponent float64
+	// Seed drives all generation randomness.
+	Seed uint64
+}
+
+func (c UniverseConfig) withDefaults() UniverseConfig {
+	if c.Sites <= 0 {
+		c.Sites = 500
+	}
+	if c.SupportMin <= 0 {
+		c.SupportMin = 1
+	}
+	if c.SupportMax < c.SupportMin {
+		c.SupportMax = c.SupportMin + 3
+	}
+	if c.SharedCDNProviders <= 0 {
+		c.SharedCDNProviders = 4
+	}
+	if c.SharedCDNNodes <= 0 {
+		c.SharedCDNNodes = 40
+	}
+	if c.Trackers <= 0 {
+		c.Trackers = 60
+	}
+	if c.ZipfExponent <= 0 {
+		c.ZipfExponent = 1.05
+	}
+	return c
+}
+
+// Universe is the complete synthetic web with ground truth.
+type Universe struct {
+	Config UniverseConfig
+	Tax    *ontology.Taxonomy
+	Hosts  []Host
+	Sites  []Site
+	// TrackerIDs, SharedCDNIDs index into Hosts.
+	TrackerIDs   []int
+	SharedCDNIDs []int
+	// Popularity holds the per-site visit probability (Zipf over a
+	// random site permutation, so popularity is independent of topic).
+	Popularity []float64
+
+	byName map[string]int
+}
+
+// topicPrevalence gives some top-level topics more sites than others,
+// shaping Figure 6a (Online Communities / Arts & Entertainment dominate).
+// Index aligns with ontology taxonomy top-level order; missing entries
+// default to 1.
+var topicPrevalence = map[string]float64{
+	"Online Communities":      6,
+	"Arts & Entertainment":    6,
+	"People & Society":        4,
+	"Jobs & Education":        3.5,
+	"Games":                   3,
+	"Internet & Telecom":      2.5,
+	"Computers & Electronics": 2.5,
+	"Shopping":                2.5,
+	"News":                    2,
+	"Sports":                  1.8,
+	"Travel":                  1.6,
+	"Finance":                 1.4,
+	"Health":                  1.3,
+}
+
+// NewUniverse generates a universe deterministically from cfg.
+func NewUniverse(cfg UniverseConfig) *Universe {
+	cfg = cfg.withDefaults()
+	rng := stats.NewRNG(cfg.Seed)
+	gen := newNameGen(rng.Split())
+	tax := ontology.NewTaxonomy()
+
+	u := &Universe{
+		Config: cfg,
+		Tax:    tax,
+		byName: make(map[string]int),
+	}
+
+	// Topic sampler over top-level topics.
+	weights := make([]float64, tax.NumTops())
+	for ti := range weights {
+		w := topicPrevalence[tax.TopName(ti)]
+		if w == 0 {
+			w = 1
+		}
+		weights[ti] = w
+	}
+	topicSampler := stats.NewWeighted(rng.Split(), weights)
+
+	addHost := func(h Host) int {
+		h.ID = len(u.Hosts)
+		u.Hosts = append(u.Hosts, h)
+		u.byName[h.Name] = h.ID
+		return h.ID
+	}
+
+	// Shared CDN pool.
+	for n := 0; n < cfg.SharedCDNNodes; n++ {
+		provider := n % cfg.SharedCDNProviders
+		id := addHost(Host{
+			Name: gen.sharedCDN(provider, n),
+			Kind: KindSharedCDN,
+			Site: -1,
+		})
+		u.SharedCDNIDs = append(u.SharedCDNIDs, id)
+	}
+
+	// Trackers.
+	for k := 0; k < cfg.Trackers; k++ {
+		id := addHost(Host{
+			Name: gen.tracker(k%7, k),
+			Kind: KindTracker,
+			Site: -1,
+		})
+		u.TrackerIDs = append(u.TrackerIDs, id)
+	}
+
+	// Sites with ground-truth categories.
+	for s := 0; s < cfg.Sites; s++ {
+		top := topicSampler.Draw()
+		cats := tax.NewVector()
+		subs := tax.SubsOf(top)
+		// Primary category strongly weighted, up to two extras.
+		primary := subs[rng.Intn(len(subs))]
+		cats[primary] = 0.7 + 0.3*rng.Float64()
+		for extra := 0; extra < rng.Intn(3); extra++ {
+			c := subs[rng.Intn(len(subs))]
+			if cats[c] == 0 {
+				cats[c] = 0.3 + 0.4*rng.Float64()
+			}
+		}
+		// Occasionally a secondary topic (cross-topic site).
+		if rng.Bool(0.15) {
+			other := topicSampler.Draw()
+			osubs := tax.SubsOf(other)
+			c := osubs[rng.Intn(len(osubs))]
+			if cats[c] == 0 {
+				cats[c] = 0.2 + 0.3*rng.Float64()
+			}
+		}
+
+		siteName := gen.site()
+		hostID := addHost(Host{
+			Name:       siteName,
+			Kind:       KindSite,
+			Site:       s,
+			HasContent: true,
+		})
+
+		site := Site{
+			ID:         s,
+			Host:       hostID,
+			Categories: cats,
+			Top:        top,
+		}
+		nSupport := cfg.SupportMin + rng.Intn(cfg.SupportMax-cfg.SupportMin+1)
+		for k := 0; k < nSupport; k++ {
+			sid := addHost(Host{
+				Name: gen.support(siteName, k),
+				Kind: KindSupport,
+				Site: s,
+			})
+			site.Support = append(site.Support, sid)
+		}
+		// Each site depends on 0-2 shared CDN nodes.
+		for k := 0; k < rng.Intn(3); k++ {
+			site.SharedCDN = append(site.SharedCDN,
+				u.SharedCDNIDs[rng.Intn(len(u.SharedCDNIDs))])
+		}
+		u.Sites = append(u.Sites, site)
+	}
+
+	// Popularity: Zipf ranks assigned over a random permutation of
+	// sites so that popularity and topic are independent.
+	perm := rng.Perm(cfg.Sites)
+	z := stats.NewZipf(rng.Split(), cfg.ZipfExponent, cfg.Sites)
+	u.Popularity = make([]float64, cfg.Sites)
+	for rank, siteIdx := range perm {
+		u.Popularity[siteIdx] = z.Prob(rank)
+	}
+	return u
+}
+
+// HostByName returns the host record for a hostname.
+func (u *Universe) HostByName(name string) (Host, bool) {
+	id, ok := u.byName[name]
+	if !ok {
+		return Host{}, false
+	}
+	return u.Hosts[id], true
+}
+
+// HostNames returns all hostnames in ID order.
+func (u *Universe) HostNames() []string {
+	out := make([]string, len(u.Hosts))
+	for i, h := range u.Hosts {
+		out[i] = h.Name
+	}
+	return out
+}
+
+// SiteOfHost returns the site owning the given host ID, or nil for
+// infrastructure not tied to one site.
+func (u *Universe) SiteOfHost(hostID int) *Site {
+	h := u.Hosts[hostID]
+	if h.Site < 0 {
+		return nil
+	}
+	return &u.Sites[h.Site]
+}
+
+// GroundTruthCategories returns the category vector a host inherits from
+// its owning site (support hosts inherit the site's categories), or nil
+// for shared CDNs and trackers.
+func (u *Universe) GroundTruthCategories(hostID int) ontology.Vector {
+	s := u.SiteOfHost(hostID)
+	if s == nil {
+		return nil
+	}
+	return s.Categories
+}
+
+// ContentlessFraction returns the fraction of hostnames whose root URL
+// serves no usable page (support hosts, shared CDNs, trackers). The paper
+// measured 67%; the default universe shape lands in the same regime.
+func (u *Universe) ContentlessFraction() float64 {
+	if len(u.Hosts) == 0 {
+		return 0
+	}
+	n := 0
+	for _, h := range u.Hosts {
+		if !h.HasContent {
+			n++
+		}
+	}
+	return float64(n) / float64(len(u.Hosts))
+}

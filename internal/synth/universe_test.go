@@ -1,0 +1,173 @@
+package synth
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func smallUniverse() *Universe {
+	return NewUniverse(UniverseConfig{
+		Sites:    120,
+		Trackers: 20,
+		Seed:     7,
+	})
+}
+
+func TestUniverseDeterministic(t *testing.T) {
+	a := NewUniverse(UniverseConfig{Sites: 50, Seed: 3})
+	b := NewUniverse(UniverseConfig{Sites: 50, Seed: 3})
+	if len(a.Hosts) != len(b.Hosts) {
+		t.Fatal("host counts differ")
+	}
+	for i := range a.Hosts {
+		if a.Hosts[i] != b.Hosts[i] {
+			t.Fatalf("host %d differs: %+v vs %+v", i, a.Hosts[i], b.Hosts[i])
+		}
+	}
+}
+
+func TestUniverseSeedMatters(t *testing.T) {
+	a := NewUniverse(UniverseConfig{Sites: 50, Seed: 3})
+	b := NewUniverse(UniverseConfig{Sites: 50, Seed: 4})
+	diff := false
+	for i := range a.Hosts {
+		if i < len(b.Hosts) && a.Hosts[i].Name != b.Hosts[i].Name {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical universes")
+	}
+}
+
+func TestUniverseHostNamesUnique(t *testing.T) {
+	u := smallUniverse()
+	seen := make(map[string]bool)
+	for _, h := range u.Hosts {
+		if seen[h.Name] {
+			t.Fatalf("duplicate hostname %q", h.Name)
+		}
+		seen[h.Name] = true
+	}
+}
+
+func TestUniverseStructure(t *testing.T) {
+	u := smallUniverse()
+	if len(u.Sites) != 120 {
+		t.Fatalf("sites = %d", len(u.Sites))
+	}
+	if len(u.TrackerIDs) != 20 {
+		t.Fatalf("trackers = %d", len(u.TrackerIDs))
+	}
+	for _, s := range u.Sites {
+		if u.Hosts[s.Host].Kind != KindSite {
+			t.Fatal("site primary host has wrong kind")
+		}
+		if u.Hosts[s.Host].Site != s.ID {
+			t.Fatal("site back-reference wrong")
+		}
+		if len(s.Support) < 1 {
+			t.Fatal("site without support hosts")
+		}
+		for _, hid := range s.Support {
+			h := u.Hosts[hid]
+			if h.Kind != KindSupport || h.Site != s.ID {
+				t.Fatalf("bad support host %+v", h)
+			}
+			if !strings.HasSuffix(h.Name, u.Hosts[s.Host].Name) {
+				t.Fatalf("support host %q not under site %q", h.Name, u.Hosts[s.Host].Name)
+			}
+		}
+		if !s.Categories.Valid() {
+			t.Fatal("site categories out of range")
+		}
+		var hasCat bool
+		for _, c := range u.Tax.SubsOf(s.Top) {
+			if s.Categories[c] > 0 {
+				hasCat = true
+				break
+			}
+		}
+		if !hasCat {
+			t.Fatal("site has no category under its dominant topic")
+		}
+	}
+}
+
+func TestUniverseLookupAndGroundTruth(t *testing.T) {
+	u := smallUniverse()
+	site := u.Sites[0]
+	h, ok := u.HostByName(u.Hosts[site.Host].Name)
+	if !ok || h.ID != site.Host {
+		t.Fatal("HostByName failed")
+	}
+	if _, ok := u.HostByName("nope.invalid"); ok {
+		t.Fatal("phantom host found")
+	}
+	// Support hosts inherit the owning site's categories.
+	gt := u.GroundTruthCategories(site.Support[0])
+	if gt == nil {
+		t.Fatal("support host has no ground truth")
+	}
+	for i := range gt {
+		if gt[i] != site.Categories[i] {
+			t.Fatal("support host categories differ from site")
+		}
+	}
+	// Trackers and shared CDNs have none.
+	if u.GroundTruthCategories(u.TrackerIDs[0]) != nil {
+		t.Fatal("tracker has ground truth")
+	}
+	if u.GroundTruthCategories(u.SharedCDNIDs[0]) != nil {
+		t.Fatal("shared CDN has ground truth")
+	}
+}
+
+func TestUniversePopularityIsDistribution(t *testing.T) {
+	u := smallUniverse()
+	var s float64
+	for _, p := range u.Popularity {
+		if p < 0 {
+			t.Fatal("negative popularity")
+		}
+		s += p
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Fatalf("popularity sums to %v", s)
+	}
+}
+
+func TestContentlessFractionInPaperRegime(t *testing.T) {
+	// Paper Section 4: 67% of hostnames served no content. The default
+	// universe shape (1-4 support hosts per site plus CDNs/trackers)
+	// must land in the same majority-contentless regime.
+	u := NewUniverse(UniverseConfig{Sites: 400, Seed: 11})
+	f := u.ContentlessFraction()
+	if f < 0.5 || f > 0.85 {
+		t.Fatalf("contentless fraction = %.3f, want within [0.5, 0.85]", f)
+	}
+}
+
+func TestHostNamesOrder(t *testing.T) {
+	u := smallUniverse()
+	names := u.HostNames()
+	if len(names) != len(u.Hosts) {
+		t.Fatal("length mismatch")
+	}
+	for i, n := range names {
+		if u.Hosts[i].Name != n {
+			t.Fatal("order mismatch")
+		}
+	}
+}
+
+func TestHostKindString(t *testing.T) {
+	if KindSite.String() != "site" || KindTracker.String() != "tracker" {
+		t.Fatal("kind names wrong")
+	}
+	if HostKind(99).String() == "" {
+		t.Fatal("unknown kind should still stringify")
+	}
+}

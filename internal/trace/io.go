@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSONL streams the trace to w as one JSON object per line:
+// {"user":1,"time":123,"host":"a.example"}.
+func (t *Trace) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, v := range t.Visits() {
+		if err := enc.Encode(v); err != nil {
+			return fmt.Errorf("trace: encoding visit: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("trace: flushing: %w", err)
+	}
+	return nil
+}
+
+// ReadJSONL parses a trace written by WriteJSONL.
+func ReadJSONL(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	var visits []Visit
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var v Visit
+		if err := json.Unmarshal(sc.Bytes(), &v); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		visits = append(visits, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading: %w", err)
+	}
+	return New(visits), nil
+}

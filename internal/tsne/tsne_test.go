@@ -1,0 +1,224 @@
+package tsne
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"hostprof/internal/stats"
+)
+
+// gaussianClusters builds k well-separated clusters in dim dimensions.
+func gaussianClusters(rng *stats.RNG, k, perCluster, dim int, sep float64) (points [][]float64, labels []int) {
+	for c := 0; c < k; c++ {
+		centre := make([]float64, dim)
+		for d := range centre {
+			centre[d] = sep * float64(c) * math.Pow(-1, float64(d%2+c%2))
+		}
+		centre[c%dim] += sep * float64(c+1)
+		for i := 0; i < perCluster; i++ {
+			p := make([]float64, dim)
+			for d := range p {
+				p[d] = centre[d] + 0.3*rng.NormFloat64()
+			}
+			points = append(points, p)
+			labels = append(labels, c)
+		}
+	}
+	return points, labels
+}
+
+func TestEmbedPreservesClusters(t *testing.T) {
+	rng := stats.NewRNG(3)
+	points, labels := gaussianClusters(rng, 3, 20, 10, 8)
+	y, err := Embed(points, Config{Iterations: 250, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(y) != len(points) || len(y[0]) != 2 {
+		t.Fatalf("output shape %dx%d", len(y), len(y[0]))
+	}
+	purity := NeighbourPurity(y, labels, 5)
+	if purity < 0.8 {
+		t.Fatalf("2-D purity = %.3f, want >= 0.8 for well-separated clusters", purity)
+	}
+}
+
+func TestEmbedDeterministic(t *testing.T) {
+	rng := stats.NewRNG(7)
+	points, _ := gaussianClusters(rng, 2, 10, 5, 6)
+	a, err := Embed(points, Config{Iterations: 60, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Embed(points, Config{Iterations: 60, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for d := range a[i] {
+			if a[i][d] != b[i][d] {
+				t.Fatal("embedding not deterministic")
+			}
+		}
+	}
+}
+
+func TestEmbedOutputCentred(t *testing.T) {
+	rng := stats.NewRNG(11)
+	points, _ := gaussianClusters(rng, 2, 12, 6, 5)
+	y, err := Embed(points, Config{Iterations: 80, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mx, my float64
+	for _, p := range y {
+		mx += p[0]
+		my += p[1]
+	}
+	mx /= float64(len(y))
+	my /= float64(len(y))
+	if math.Abs(mx) > 1e-6 || math.Abs(my) > 1e-6 {
+		t.Fatalf("embedding not centred: (%v, %v)", mx, my)
+	}
+}
+
+func TestEmbedNoNaNs(t *testing.T) {
+	rng := stats.NewRNG(17)
+	points, _ := gaussianClusters(rng, 4, 8, 4, 3)
+	// Include duplicate points (zero distances) to stress numerics.
+	points = append(points, append([]float64(nil), points[0]...))
+	y, err := Embed(points, Config{Iterations: 120, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range y {
+		for _, v := range p {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("point %d is %v", i, p)
+			}
+		}
+	}
+}
+
+func TestEmbedErrors(t *testing.T) {
+	if _, err := Embed(nil, Config{}); !errors.Is(err, ErrTooFewPoints) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := Embed([][]float64{{1}, {2}, {3}}, Config{}); !errors.Is(err, ErrTooFewPoints) {
+		t.Fatalf("err = %v", err)
+	}
+	bad := [][]float64{{1, 2}, {1}, {3, 4}, {5, 6}}
+	if _, err := Embed(bad, Config{}); err == nil {
+		t.Fatal("expected dim mismatch error")
+	}
+}
+
+func TestEmbedCustomDims(t *testing.T) {
+	rng := stats.NewRNG(23)
+	points, _ := gaussianClusters(rng, 2, 8, 5, 4)
+	y, err := Embed(points, Config{Iterations: 40, OutDims: 3, Seed: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(y[0]) != 3 {
+		t.Fatalf("out dims = %d", len(y[0]))
+	}
+}
+
+func TestCondProbabilitiesRowsSumToOne(t *testing.T) {
+	rng := stats.NewRNG(29)
+	points, _ := gaussianClusters(rng, 2, 10, 4, 5)
+	d2 := squaredDistances(points)
+	p := condProbabilities(d2, 5)
+	for i, row := range p {
+		var s float64
+		for j, v := range row {
+			if j == i && v != 0 {
+				t.Fatal("self-probability non-zero")
+			}
+			if v < 0 {
+				t.Fatal("negative probability")
+			}
+			s += v
+		}
+		if math.Abs(s-1) > 1e-6 {
+			t.Fatalf("row %d sums to %v", i, s)
+		}
+	}
+}
+
+func TestNeighbourPurityPerfectAndRandom(t *testing.T) {
+	// Two tight clusters: purity ~1. Interleaved labels: purity low.
+	points := [][]float64{
+		{0, 0}, {0.1, 0}, {0, 0.1},
+		{10, 10}, {10.1, 10}, {10, 10.1},
+	}
+	labels := []int{0, 0, 0, 1, 1, 1}
+	if p := NeighbourPurity(points, labels, 2); p != 1 {
+		t.Fatalf("tight-cluster purity = %v", p)
+	}
+	mixed := []int{0, 1, 0, 1, 0, 1}
+	if p := NeighbourPurity(points, mixed, 2); p >= 0.8 {
+		t.Fatalf("mixed purity = %v, should be low", p)
+	}
+}
+
+func TestNeighbourPurityExcludesUnlabelled(t *testing.T) {
+	points := [][]float64{{0, 0}, {0.1, 0}, {0.05, 0.05}, {9, 9}}
+	labels := []int{0, 0, -1, 0} // point 2 unlabelled
+	p := NeighbourPurity(points, labels, 1)
+	if p != 1 {
+		t.Fatalf("purity = %v, unlabelled point should be excluded", p)
+	}
+}
+
+func TestNeighbourPurityDegenerate(t *testing.T) {
+	if NeighbourPurity(nil, nil, 3) != 0 {
+		t.Fatal("empty input should give 0")
+	}
+	if NeighbourPurity([][]float64{{1}}, []int{0}, 3) != 0 {
+		t.Fatal("single point should give 0")
+	}
+	if NeighbourPurity([][]float64{{1}, {2}}, []int{0, 0}, 0) != 0 {
+		t.Fatal("k=0 should give 0")
+	}
+}
+
+func TestDivergenceLowerForTrainedEmbedding(t *testing.T) {
+	rng := stats.NewRNG(31)
+	points, _ := gaussianClusters(rng, 3, 12, 8, 6)
+	good, err := Embed(points, Config{Iterations: 200, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Random layout of the same size.
+	random := make([][]float64, len(points))
+	for i := range random {
+		random[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	klGood, err := Divergence(points, good, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	klRand, err := Divergence(points, random, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if klGood >= klRand {
+		t.Fatalf("trained KL %.3f >= random KL %.3f", klGood, klRand)
+	}
+	if klGood < 0 {
+		t.Fatalf("negative KL %.3f", klGood)
+	}
+}
+
+func TestDivergenceErrors(t *testing.T) {
+	if _, err := Divergence(nil, nil, 30); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+	x := [][]float64{{1}, {2}, {3}, {4}}
+	if _, err := Divergence(x, x[:3], 30); err == nil {
+		t.Fatal("expected error for length mismatch")
+	}
+}

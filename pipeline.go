@@ -1,0 +1,178 @@
+package hostprof
+
+import (
+	"fmt"
+	"sync"
+
+	"hostprof/internal/core"
+	"hostprof/internal/sniffer"
+	"hostprof/internal/trace"
+)
+
+// PipelineConfig assembles a complete network-observer pipeline.
+type PipelineConfig struct {
+	// Observer configures packet decoding and user attribution.
+	Observer ObserverConfig
+	// Train configures embedding training; zero values select paper
+	// defaults.
+	Train TrainConfig
+	// Profile configures session profiling; zero N selects the paper's
+	// 1000.
+	Profile ProfilerConfig
+	// SessionWindow is the profiling window T in seconds (paper: 20
+	// minutes). Zero selects 1200.
+	SessionWindow int64
+	// Blocklist, when non-nil, filters tracker hostnames before both
+	// training and profiling, as Section 5.4 prescribes.
+	Blocklist *Blocklist
+	// Ontology supplies the labelled subset H_L.
+	Ontology *Ontology
+}
+
+// Pipeline is the end-to-end eavesdropper: packets in, profiles and ads
+// out. It is safe for use from a single goroutine; packet ingestion and
+// (re)training may run concurrently only through the exported methods,
+// which serialize on an internal lock.
+type Pipeline struct {
+	cfg PipelineConfig
+
+	mu       sync.Mutex
+	observer *Observer
+	visits   *Trace
+	model    *Model
+	profiler *Profiler
+}
+
+// NewPipeline validates cfg and returns an empty pipeline.
+func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
+	if cfg.Ontology == nil {
+		return nil, fmt.Errorf("hostprof: pipeline requires an ontology")
+	}
+	if cfg.SessionWindow <= 0 {
+		cfg.SessionWindow = 20 * 60
+	}
+	return &Pipeline{
+		cfg:      cfg,
+		observer: sniffer.NewObserver(cfg.Observer),
+		visits:   trace.New(nil),
+	}, nil
+}
+
+// Ingest feeds one captured Ethernet frame taken at ts (seconds) to the
+// observer; any extracted visit is recorded (unless blocklisted).
+// It reports whether a hostname was extracted.
+func (p *Pipeline) Ingest(frame []byte, ts int64) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	v, ok := p.observer.ProcessPacket(frame, ts)
+	if !ok {
+		return false
+	}
+	if p.cfg.Blocklist != nil && p.cfg.Blocklist.Contains(v.Host) {
+		return false
+	}
+	p.visits.Append(v)
+	return true
+}
+
+// IngestVisit records an already-extracted visit (e.g. replayed from a
+// stored trace), subject to blocklist filtering.
+func (p *Pipeline) IngestVisit(v Visit) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cfg.Blocklist != nil && p.cfg.Blocklist.Contains(v.Host) {
+		return false
+	}
+	p.visits.Append(v)
+	return true
+}
+
+// Trace returns the accumulated visit trace. The returned value is the
+// live trace; callers must not mutate it concurrently with Ingest.
+func (p *Pipeline) Trace() *Trace {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.visits
+}
+
+// Retrain fits a fresh embedding on every per-user-day sequence observed
+// so far and swaps it in, mirroring the paper's daily retraining
+// (Section 5.4).
+func (p *Pipeline) Retrain() error {
+	p.mu.Lock()
+	corpus := p.visits.AllSequences()
+	p.mu.Unlock()
+
+	model, err := core.Train(corpus, p.cfg.Train)
+	if err != nil {
+		return fmt.Errorf("hostprof: retraining: %w", err)
+	}
+	profiler := core.NewProfiler(model, p.cfg.Ontology, p.cfg.Profile)
+
+	p.mu.Lock()
+	p.model = model
+	p.profiler = profiler
+	p.mu.Unlock()
+	return nil
+}
+
+// RetrainOnDay fits the embedding on a single day's sequences (the
+// paper's "previous whole day") instead of the full history.
+func (p *Pipeline) RetrainOnDay(day int) error {
+	p.mu.Lock()
+	corpus := p.visits.DailySequences(day)
+	p.mu.Unlock()
+
+	model, err := core.Train(corpus, p.cfg.Train)
+	if err != nil {
+		return fmt.Errorf("hostprof: retraining on day %d: %w", day, err)
+	}
+	profiler := core.NewProfiler(model, p.cfg.Ontology, p.cfg.Profile)
+
+	p.mu.Lock()
+	p.model = model
+	p.profiler = profiler
+	p.mu.Unlock()
+	return nil
+}
+
+// ErrNotTrained is returned by profiling before the first Retrain.
+var ErrNotTrained = fmt.Errorf("hostprof: pipeline model not trained yet")
+
+// Model returns the current embedding model, or nil before training.
+func (p *Pipeline) Model() *Model {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.model
+}
+
+// ProfileUser profiles the hostnames user requested in the window
+// (now-T, now].
+func (p *Pipeline) ProfileUser(user int, now int64) (Vector, error) {
+	p.mu.Lock()
+	profiler := p.profiler
+	session := p.visits.Session(user, now, p.cfg.SessionWindow)
+	p.mu.Unlock()
+	if profiler == nil {
+		return nil, ErrNotTrained
+	}
+	return profiler.ProfileSession(session)
+}
+
+// ProfileSession profiles an explicit hostname sequence.
+func (p *Pipeline) ProfileSession(hosts []string) (Vector, error) {
+	p.mu.Lock()
+	profiler := p.profiler
+	p.mu.Unlock()
+	if profiler == nil {
+		return nil, ErrNotTrained
+	}
+	return profiler.ProfileSession(hosts)
+}
+
+// ObserverStats returns packet-level counters.
+func (p *Pipeline) ObserverStats() sniffer.ObserverStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.observer.Stats
+}
