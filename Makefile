@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet bench experiments experiments-small examples clean
+.PHONY: all build test vet bench bench-json ci experiments experiments-small examples clean
 
 all: vet test build
 
@@ -18,6 +18,19 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime 1x .
+
+# Machine-readable benchmark trajectory for perf PRs.
+bench-json:
+	$(GO) test -bench=. -benchmem -benchtime 1x -run '^$$' . | $(GO) run ./cmd/benchjson > BENCH_results.json
+	@echo wrote BENCH_results.json
+
+# Mirrors .github/workflows/ci.yml.
+ci:
+	@fmt="$$(gofmt -l .)"; if [ -n "$$fmt" ]; then echo "gofmt needed: $$fmt"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
+	$(GO) test -race ./internal/...
 
 experiments:
 	$(GO) run ./cmd/experiments -verbose -data-dir data

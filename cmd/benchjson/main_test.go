@@ -1,0 +1,43 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkTrain/workers=4-8   \t 10\t  11131 ns/op\t  42 B/op\t   2 allocs/op")
+	if !ok {
+		t.Fatal("benchmark line not recognized")
+	}
+	if r.Name != "Train/workers=4" || r.Procs != 8 || r.Iterations != 10 {
+		t.Fatalf("parsed %+v", r)
+	}
+	want := map[string]float64{"ns/op": 11131, "B/op": 42, "allocs/op": 2}
+	for k, v := range want {
+		if r.Metrics[k] != v {
+			t.Fatalf("metric %s = %v, want %v", k, r.Metrics[k], v)
+		}
+	}
+}
+
+func TestParseLineCustomMetric(t *testing.T) {
+	r, ok := parseLine("BenchmarkObserve-2 100 5000 ns/op 12.5 visits/op")
+	if !ok {
+		t.Fatal("line not recognized")
+	}
+	if r.Metrics["visits/op"] != 12.5 {
+		t.Fatalf("custom metric lost: %+v", r.Metrics)
+	}
+}
+
+func TestParseLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \thostprof\t1.2s",
+		"BenchmarkBroken notanumber ns/op",
+		"",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Fatalf("line %q wrongly accepted", line)
+		}
+	}
+}

@@ -12,7 +12,9 @@ import (
 	"os"
 	"sort"
 
+	"hostprof/internal/core"
 	"hostprof/internal/experiment"
+	"hostprof/internal/obs"
 	"hostprof/internal/stats"
 )
 
@@ -28,6 +30,22 @@ func main() {
 	cfg := experiment.DefaultConfig(*seed)
 	if *small {
 		cfg = experiment.SmallConfig(*seed)
+	}
+	// Record every training run (the initial fit plus each extension
+	// retrain) into a metrics registry, summarized at exit in -verbose
+	// mode.
+	reg := obs.NewRegistry()
+	epochSeconds := reg.Histogram("hostprof_train_epoch_seconds", obs.ExpBuckets(0.01, 4, 10))
+	epochLoss := reg.Gauge("hostprof_train_epoch_loss")
+	epochs := reg.Counter("hostprof_train_epochs_total")
+	trainings := reg.Counter("hostprof_trainings_total")
+	cfg.Train.Progress = func(e core.EpochStats) {
+		epochs.Inc()
+		epochSeconds.Observe(e.Duration.Seconds())
+		epochLoss.Set(e.Loss)
+		if e.Epoch == 0 {
+			trainings.Inc()
+		}
 	}
 	fmt.Fprintf(os.Stderr, "setup: %d sites, %d users, %d days, d=%d...\n",
 		cfg.Universe.Sites, cfg.Population.Users, cfg.Population.Days, cfg.Train.Dim)
@@ -60,6 +78,10 @@ func main() {
 
 	if *verbose {
 		printVerbose(s, all)
+		fmt.Println("\n== Final metrics ==")
+		if err := reg.WritePrometheus(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
 	}
 }
 

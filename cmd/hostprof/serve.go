@@ -4,10 +4,12 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 
 	"hostprof/internal/ads"
 	"hostprof/internal/core"
+	"hostprof/internal/obs"
 	"hostprof/internal/ontology"
 	"hostprof/internal/server"
 )
@@ -25,6 +27,7 @@ func cmdServe(args []string) error {
 	epochs := fs.Int("epochs", 5, "training epochs per retrain")
 	n := fs.Int("n", 40, "profiler neighbourhood size N")
 	adsSeed := fs.Uint64("ads-seed", 1, "ad inventory seed")
+	withPprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -64,13 +67,29 @@ func cmdServe(args []string) error {
 		Blocklist: bl,
 		Train:     core.TrainConfig{Dim: *dim, Epochs: *epochs},
 		Profile:   core.ProfilerConfig{N: *n, Agg: core.AggIDF},
+		Metrics:   obs.Default,
 	})
 	if err != nil {
 		return err
 	}
 
+	handler := backend.Handler()
+	if *withPprof {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+
 	fmt.Printf("backend: %d labelled hosts, %d ads; listening on http://%s\n",
 		ont.Len(), db.Len(), *addr)
-	fmt.Println("endpoints: POST /v1/report /v1/feedback /v1/retrain; GET /v1/stats")
-	return http.ListenAndServe(*addr, backend.Handler())
+	fmt.Println("endpoints: POST /v1/report /v1/feedback /v1/retrain; GET /v1/stats /metrics /varz /healthz")
+	if *withPprof {
+		fmt.Println("profiling: GET /debug/pprof/")
+	}
+	return http.ListenAndServe(*addr, handler)
 }

@@ -62,7 +62,7 @@ func cmdSniff(args []string) error {
 		return err
 	}
 	if *stats {
-		st := obs.Stats
+		st := obs.Stats()
 		fmt.Fprintf(os.Stderr, "packets=%d tls=%d quic=%d dns=%d undecodable=%d flows=%d\n",
 			st.Packets, st.TLSVisits, st.QUICVisits, st.DNSVisits,
 			st.Undecodable, st.FlowsTracked)

@@ -71,7 +71,7 @@ func run(path string, ipFallback, printStats bool) error {
 		return err
 	}
 	if printStats {
-		st := obs.Stats
+		st := obs.Stats()
 		fmt.Fprintf(os.Stderr,
 			"packets=%d tls=%d quic=%d dns=%d ip-fallbacks=%d resolved=%d undecodable=%d\n",
 			st.Packets, st.TLSVisits, st.QUICVisits, st.DNSVisits,

@@ -30,6 +30,7 @@ import (
 
 	"hostprof/internal/ads"
 	"hostprof/internal/core"
+	"hostprof/internal/obs"
 	"hostprof/internal/ontology"
 	"hostprof/internal/sniffer"
 	"hostprof/internal/trace"
@@ -54,6 +55,14 @@ type (
 	ProfilerConfig = core.ProfilerConfig
 	// Aggregation selects the session-vector fold (mean/sum/idf).
 	Aggregation = core.Aggregation
+	// EpochStats is the per-epoch training report delivered to
+	// TrainConfig.Progress.
+	EpochStats = core.EpochStats
+
+	// MetricsRegistry collects operational metrics (counters, gauges,
+	// histograms) with Prometheus text and JSON exposition; share one
+	// across components via the Metrics config fields.
+	MetricsRegistry = obs.Registry
 
 	// Taxonomy is the two-level category hierarchy (34 topics, 328
 	// categories, mirroring the paper's Adwords cut).
@@ -136,6 +145,10 @@ func NewProfiler(m *Model, ont *Ontology, cfg ProfilerConfig) *Profiler {
 
 // NewObserver returns a passive packet observer.
 func NewObserver(cfg ObserverConfig) *Observer { return sniffer.NewObserver(cfg) }
+
+// NewMetricsRegistry returns an empty metrics registry (see the
+// Observability section of the README for the exported families).
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 
 // NewTrace returns a trace over the given visits.
 func NewTrace(visits []Visit) *Trace { return trace.New(visits) }

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hostprof/internal/stats"
 )
@@ -48,6 +49,26 @@ type TrainConfig struct {
 	Workers int
 	// Seed seeds all training randomness.
 	Seed uint64
+	// Progress, when non-nil, is called once after every completed
+	// epoch, from the goroutine running Train, with all workers
+	// quiesced. Setting it also enables loss tracking, which costs one
+	// log evaluation per trained pair.
+	Progress func(EpochStats)
+}
+
+// EpochStats describes one completed training epoch, as reported to
+// TrainConfig.Progress.
+type EpochStats struct {
+	// Epoch is the 0-based index of the completed epoch; Epochs is the
+	// configured total.
+	Epoch, Epochs int
+	// Loss is the mean negative-sampling loss (Equation 2) per
+	// (centre, context) pair over the epoch.
+	Loss float64
+	// Pairs is the number of positive pairs trained in the epoch.
+	Pairs int64
+	// Duration is the epoch's wall-clock time.
+	Duration time.Duration
 }
 
 // withDefaults returns cfg with zero fields replaced by defaults.
@@ -103,6 +124,9 @@ type Model struct {
 // ErrEmptyCorpus is returned when no trainable sequences remain after
 // vocabulary pruning.
 var ErrEmptyCorpus = errors.New("core: empty corpus after vocabulary pruning")
+
+// lossEps keeps the tracked loss finite when a sigmoid saturates.
+const lossEps = 1e-12
 
 // Train learns hostname embeddings from a corpus of request sequences
 // (one sequence per user per collection interval) by minimizing the
@@ -176,20 +200,28 @@ func Train(corpus [][]string, cfg TrainConfig) (*Model, error) {
 		// single-threaded under -race (see race_on.go).
 		workers = 1
 	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			tr := &trainer{
-				m:     m,
-				cfg:   cfg,
-				rng:   stats.NewRNG(cfg.Seed ^ (0x9e37*uint64(w) + 1)),
-				noise: stats.NewWeighted(stats.NewRNG(cfg.Seed+uint64(w)*7919+13), noise),
-				keep:  keep,
-				neu1e: make([]float64, cfg.Dim),
-			}
-			for epoch := 0; epoch < cfg.Epochs; epoch++ {
+	trainers := make([]*trainer, workers)
+	for w := range trainers {
+		trainers[w] = &trainer{
+			m:         m,
+			cfg:       cfg,
+			rng:       stats.NewRNG(cfg.Seed ^ (0x9e37*uint64(w) + 1)),
+			noise:     stats.NewWeighted(stats.NewRNG(cfg.Seed+uint64(w)*7919+13), noise),
+			keep:      keep,
+			neu1e:     make([]float64, cfg.Dim),
+			trackLoss: cfg.Progress != nil,
+		}
+	}
+	// Epochs are barriered: all workers finish epoch e before any starts
+	// e+1, so Progress observes a quiesced model. Per worker, the
+	// sequence order and RNG consumption match the pre-barrier scheme.
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		start := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(tr *trainer, w int) {
+				defer wg.Done()
 				for s := w; s < len(encoded); s += workers {
 					seq := encoded[s]
 					progress := float64(done.Add(int64(len(seq)))) / float64(totalWork)
@@ -199,10 +231,30 @@ func Train(corpus [][]string, cfg TrainConfig) (*Model, error) {
 					}
 					tr.trainSequence(seq, lr)
 				}
+			}(trainers[w], w)
+		}
+		wg.Wait()
+		if cfg.Progress != nil {
+			var lossSum float64
+			var pairs int64
+			for _, tr := range trainers {
+				lossSum += tr.lossSum
+				pairs += tr.lossPairs
+				tr.lossSum, tr.lossPairs = 0, 0
 			}
-		}(w)
+			loss := 0.0
+			if pairs > 0 {
+				loss = lossSum / float64(pairs)
+			}
+			cfg.Progress(EpochStats{
+				Epoch:    epoch,
+				Epochs:   cfg.Epochs,
+				Loss:     loss,
+				Pairs:    pairs,
+				Duration: time.Since(start),
+			})
+		}
 	}
-	wg.Wait()
 	return m, nil
 }
 
@@ -214,6 +266,12 @@ type trainer struct {
 	noise *stats.Weighted
 	keep  []float64
 	neu1e []float64 // gradient accumulator for the centre vector
+
+	// Loss accounting, only maintained when trackLoss is set; read by
+	// the Train goroutine at epoch barriers.
+	trackLoss bool
+	lossSum   float64
+	lossPairs int64
 }
 
 // trainSequence applies one pass of skip-gram negative sampling over a
@@ -269,7 +327,18 @@ func (t *trainer) trainSequence(seq []int32, lr float64) {
 					label = 0
 				}
 				ovec := t.m.out[target*dim : target*dim+dim]
-				g := (label - stats.Sigmoid(stats.Dot(cvec, ovec))) * lr
+				y := stats.Sigmoid(stats.Dot(cvec, ovec))
+				if t.trackLoss {
+					// Negative-sampling objective of Equation (2):
+					// -log σ(x) for the pair, -log σ(-x) per negative.
+					if label == 1 {
+						t.lossSum -= math.Log(y + lossEps)
+						t.lossPairs++
+					} else {
+						t.lossSum -= math.Log(1 - y + lossEps)
+					}
+				}
+				g := (label - y) * lr
 				stats.AXPY(g, ovec, t.neu1e)
 				stats.AXPY(g, cvec, ovec)
 			}

@@ -65,9 +65,9 @@ func RunExtension(s *Setup, cfg ExtConfig) (ExtResult, error) {
 	}
 
 	res := ExtResult{ObservedVisits: observed.Len()}
-	if obs.Stats.TLSVisits+obs.Stats.IPFallbacks > 0 {
-		res.FallbackShare = float64(obs.Stats.IPFallbacks) /
-			float64(obs.Stats.TLSVisits+obs.Stats.QUICVisits+obs.Stats.DNSVisits+obs.Stats.IPFallbacks)
+	if st := obs.Stats(); st.TLSVisits+st.IPFallbacks > 0 {
+		res.FallbackShare = float64(st.IPFallbacks) /
+			float64(st.TLSVisits+st.QUICVisits+st.DNSVisits+st.IPFallbacks)
 	}
 
 	// The observer's ontology: the labelled hostnames, optionally plus

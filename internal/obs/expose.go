@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4): families sorted by name, one
+// # HELP / # TYPE header per family, histogram buckets cumulative with
+// a trailing +Inf. Callback gauges are evaluated without the registry
+// lock held.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	ms, help := r.collect()
+	bw := bufio.NewWriter(w)
+	prev := ""
+	for _, m := range ms {
+		if m.name != prev {
+			prev = m.name
+			if h := help[m.name]; h != "" {
+				bw.WriteString("# HELP ")
+				bw.WriteString(m.name)
+				bw.WriteByte(' ')
+				bw.WriteString(escapeHelp(h))
+				bw.WriteByte('\n')
+			}
+			bw.WriteString("# TYPE ")
+			bw.WriteString(m.name)
+			bw.WriteByte(' ')
+			bw.WriteString(m.kind.String())
+			bw.WriteByte('\n')
+		}
+		switch m.kind {
+		case kindCounter:
+			writeSample(bw, m.name, "", m.labels, "", formatInt(m.counter.Value()))
+		case kindGauge:
+			writeSample(bw, m.name, "", m.labels, "", formatFloat(m.gauge.Value()))
+		case kindGaugeFunc:
+			writeSample(bw, m.name, "", m.labels, "", formatFloat(m.fn()))
+		case kindHistogram:
+			h := m.hist
+			var cum int64
+			for i, ub := range h.upper {
+				cum += h.counts[i].Load()
+				writeSample(bw, m.name, "_bucket", m.labels, formatFloat(ub), formatInt(cum))
+			}
+			// The +Inf bucket equals the total count by construction.
+			writeSample(bw, m.name, "_bucket", m.labels, "+Inf", formatInt(h.Count()))
+			writeSample(bw, m.name, "_sum", m.labels, "", formatFloat(h.Sum()))
+			writeSample(bw, m.name, "_count", m.labels, "", formatInt(h.Count()))
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSample emits one exposition line: name+suffix{labels[,le=le]} value.
+func writeSample(bw *bufio.Writer, name, suffix string, labels []Label, le, value string) {
+	bw.WriteString(name)
+	bw.WriteString(suffix)
+	if len(labels) > 0 || le != "" {
+		bw.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(l.Name)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(l.Value))
+			bw.WriteByte('"')
+		}
+		if le != "" {
+			if len(labels) > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(`le="`)
+			bw.WriteString(le)
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}
+
+func formatInt(v int64) string { return strconv.FormatInt(v, 10) }
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// escapeLabel escapes a label value per the exposition format:
+// backslash, double quote and newline.
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+// escapeHelp escapes HELP text (backslash and newline only).
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }
+
+// BucketSnapshot is one cumulative histogram bucket in a snapshot. The
+// implicit +Inf bucket is omitted; Count covers all observations.
+type BucketSnapshot struct {
+	LE    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// MetricSnapshot is one metric series in a point-in-time snapshot.
+type MetricSnapshot struct {
+	Name   string            `json:"name"`
+	Kind   string            `json:"kind"`
+	Labels map[string]string `json:"labels,omitempty"`
+	// Value is set for counters and gauges.
+	Value float64 `json:"value"`
+	// Count, Sum and Buckets are set for histograms.
+	Count   int64            `json:"count,omitempty"`
+	Sum     float64          `json:"sum,omitempty"`
+	Buckets []BucketSnapshot `json:"buckets,omitempty"`
+}
+
+// Snapshot returns every registered metric with its current value, in
+// the same deterministic order as WritePrometheus. Callback gauges are
+// evaluated without the registry lock held.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	ms, _ := r.collect()
+	out := make([]MetricSnapshot, 0, len(ms))
+	for _, m := range ms {
+		s := MetricSnapshot{Name: m.name, Kind: m.kind.String()}
+		if len(m.labels) > 0 {
+			s.Labels = make(map[string]string, len(m.labels))
+			for _, l := range m.labels {
+				s.Labels[l.Name] = l.Value
+			}
+		}
+		switch m.kind {
+		case kindCounter:
+			s.Value = float64(m.counter.Value())
+		case kindGauge:
+			s.Value = m.gauge.Value()
+		case kindGaugeFunc:
+			s.Value = m.fn()
+		case kindHistogram:
+			h := m.hist
+			s.Count = h.Count()
+			s.Sum = h.Sum()
+			s.Buckets = make([]BucketSnapshot, len(h.upper))
+			var cum int64
+			for i, ub := range h.upper {
+				cum += h.counts[i].Load()
+				s.Buckets[i] = BucketSnapshot{LE: ub, Count: cum}
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}

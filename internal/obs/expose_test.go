@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// expositionLine matches one sample line of the Prometheus text format:
+// a valid metric name, an optional brace-delimited label set, and a
+// numeric value.
+var expositionLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\\n])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\\n])*")*\})? (NaN|[+-]?Inf|[+-]?[0-9].*)$`)
+
+func scrape(t *testing.T, r *Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestExpositionFormatValid(t *testing.T) {
+	r := NewRegistry()
+	r.Describe("requests_total", "total requests\nby code")
+	r.Counter("requests_total", L("code", "200")).Add(7)
+	r.Counter("requests_total", L("code", "500")).Inc()
+	r.Gauge("queue_depth").Set(3.5)
+	r.GaugeFunc("uptime", func() float64 { return 42 })
+	r.Histogram("lat_seconds", []float64{0.1, 1}).Observe(0.05)
+	r.Histogram("lat_seconds", nil).Observe(0.5)
+	r.Histogram("lat_seconds", nil).Observe(5)
+
+	out := scrape(t, r)
+	sawType := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("bad TYPE line: %q", line)
+			}
+			sawType[f[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			if strings.Contains(line, "\n") {
+				t.Fatalf("unescaped newline in HELP: %q", line)
+			}
+			continue
+		}
+		if !expositionLine.MatchString(line) {
+			t.Fatalf("invalid exposition line: %q", line)
+		}
+	}
+	for _, fam := range []string{"requests_total", "queue_depth", "uptime", "lat_seconds"} {
+		if !sawType[fam] {
+			t.Fatalf("missing # TYPE for %s in:\n%s", fam, out)
+		}
+	}
+	for _, want := range []string{
+		`requests_total{code="200"} 7`,
+		`requests_total{code="500"} 1`,
+		"queue_depth 3.5",
+		"uptime 42",
+		`lat_seconds_bucket{le="+Inf"} 3`,
+		"lat_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", L("path", `a\b"c`+"\n"+`d`)).Inc()
+	out := scrape(t, r)
+	want := `m{path="a\\b\"c\nd"} 1`
+	if !strings.Contains(out, want) {
+		t.Fatalf("escaped line %q not found in:\n%s", want, out)
+	}
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if !strings.HasPrefix(line, "#") && !expositionLine.MatchString(line) {
+			t.Fatalf("invalid line after escaping: %q", line)
+		}
+	}
+}
+
+func TestMetricNameSanitized(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("2bad name-with.dots", L("bad label", "v")).Inc()
+	out := scrape(t, r)
+	if !strings.Contains(out, `_bad_name_with_dots{bad_label="v"} 1`) {
+		t.Fatalf("name not sanitized:\n%s", out)
+	}
+}
+
+func TestHistogramExpositionMonotone(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{4, 1, 2, 2, math.Inf(1)}) // unsorted + dup + inf
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i % 7))
+	}
+	out := scrape(t, r)
+	re := regexp.MustCompile(`h_bucket\{le="([^"]+)"\} (\d+)`)
+	var prevLE, prevCount float64 = math.Inf(-1), -1
+	n := 0
+	for _, m := range re.FindAllStringSubmatch(out, -1) {
+		le := math.Inf(1)
+		if m[1] != "+Inf" {
+			var err error
+			le, err = strconv.ParseFloat(m[1], 64)
+			if err != nil {
+				t.Fatalf("bad le %q: %v", m[1], err)
+			}
+		}
+		count, _ := strconv.ParseFloat(m[2], 64)
+		if le <= prevLE {
+			t.Fatalf("bucket bounds not increasing: %v after %v", le, prevLE)
+		}
+		if count < prevCount {
+			t.Fatalf("bucket counts not monotone: %v after %v", count, prevCount)
+		}
+		prevLE, prevCount = le, count
+		n++
+	}
+	if n != 4 { // 1, 2, 4, +Inf
+		t.Fatalf("bucket lines = %d, want 4:\n%s", n, out)
+	}
+	if !strings.Contains(out, `h_bucket{le="+Inf"} 100`) || !strings.Contains(out, "h_count 100") {
+		t.Fatalf("+Inf bucket must equal count:\n%s", out)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", L("k", "v")).Add(3)
+	r.Gauge("g").Set(1.5)
+	r.Histogram("h", []float64{1, 10}).Observe(0.5)
+	r.Histogram("h", nil).Observe(100)
+
+	raw, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []MetricSnapshot
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]MetricSnapshot{}
+	for _, m := range decoded {
+		byName[m.Name] = m
+	}
+	if c := byName["c"]; c.Kind != "counter" || c.Value != 3 || c.Labels["k"] != "v" {
+		t.Fatalf("counter snapshot: %+v", c)
+	}
+	if g := byName["g"]; g.Kind != "gauge" || g.Value != 1.5 {
+		t.Fatalf("gauge snapshot: %+v", g)
+	}
+	h := byName["h"]
+	if h.Kind != "histogram" || h.Count != 2 || h.Sum != 100.5 {
+		t.Fatalf("histogram snapshot: %+v", h)
+	}
+	// 100 exceeds every finite bound: visible via Count, not Buckets.
+	if len(h.Buckets) != 2 || h.Buckets[0].Count != 1 || h.Buckets[1].Count != 1 {
+		t.Fatalf("histogram buckets: %+v", h.Buckets)
+	}
+}

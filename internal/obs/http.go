@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// MetricsHandler serves the registry in Prometheus text exposition
+// format (a /metrics endpoint).
+func (r *Registry) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// VarzHandler serves the registry as a JSON snapshot array (a /varz
+// endpoint).
+func (r *Registry) VarzHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		snap := r.Snapshot()
+		if snap == nil {
+			snap = []MetricSnapshot{}
+		}
+		_ = json.NewEncoder(w).Encode(snap)
+	})
+}
+
+// HealthzHandler serves a readiness probe: 200 "ok" when ready() is
+// true, 503 "not ready" otherwise. A nil ready means always ready.
+func HealthzHandler(ready func() bool) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if ready != nil && !ready() {
+			http.Error(w, "not ready", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ok\n"))
+	})
+}

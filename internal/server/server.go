@@ -15,10 +15,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 
 	"hostprof/internal/ads"
 	"hostprof/internal/core"
+	"hostprof/internal/obs"
 	"hostprof/internal/ontology"
 	"hostprof/internal/trace"
 )
@@ -40,12 +42,19 @@ type Config struct {
 	// AdsPerReport is how many ads each report answer carries
 	// (default 20, paper Section 5.3).
 	AdsPerReport int
+	// Metrics, when non-nil, is the registry the backend exports into
+	// (hostprof_* names; see internal/obs). Nil creates a private
+	// registry, retrievable via Backend.Metrics, so /metrics and /varz
+	// always have content.
+	Metrics *obs.Registry
 }
 
 // Backend is the profiling/ad server. All methods are safe for
 // concurrent use.
 type Backend struct {
 	cfg Config
+	reg *obs.Registry
+	met backendMetrics
 
 	mu       sync.Mutex
 	visits   *trace.Trace
@@ -55,6 +64,42 @@ type Backend struct {
 	// campaign statistics
 	impressions map[string]int64 // by source: "eavesdropper" / "original"
 	clicks      map[string]int64
+}
+
+// backendMetrics caches the backend's registry handles.
+type backendMetrics struct {
+	reports        *obs.Counter
+	reportHosts    *obs.Counter
+	reportDrops    *obs.Counter
+	retrains       *obs.Counter
+	retrainErrors  *obs.Counter
+	retrainSeconds *obs.Histogram
+	epochs         *obs.Counter
+	epochSeconds   *obs.Histogram
+	epochLoss      *obs.Gauge
+	profileSeconds *obs.Histogram
+}
+
+var trainBuckets = obs.ExpBuckets(0.01, 4, 10)
+
+func newBackendMetrics(reg *obs.Registry) backendMetrics {
+	reg.Describe("hostprof_reports_total", "extension hostname reports accepted")
+	reg.Describe("hostprof_retrain_seconds", "wall time of full model retrains")
+	reg.Describe("hostprof_profile_seconds", "per-report session profiling latency")
+	reg.Describe("hostprof_campaign_impressions", "ad impressions recorded, by ad source")
+	reg.Describe("hostprof_campaign_clicks", "ad clicks recorded, by ad source")
+	return backendMetrics{
+		reports:        reg.Counter("hostprof_reports_total"),
+		reportHosts:    reg.Counter("hostprof_report_hosts_total"),
+		reportDrops:    reg.Counter("hostprof_report_blocklist_drops_total"),
+		retrains:       reg.Counter("hostprof_retrain_total"),
+		retrainErrors:  reg.Counter("hostprof_retrain_errors_total"),
+		retrainSeconds: reg.Histogram("hostprof_retrain_seconds", trainBuckets),
+		epochs:         reg.Counter("hostprof_train_epochs_total"),
+		epochSeconds:   reg.Histogram("hostprof_train_epoch_seconds", trainBuckets),
+		epochLoss:      reg.Gauge("hostprof_train_epoch_loss"),
+		profileSeconds: reg.Histogram("hostprof_profile_seconds", nil),
+	}
 }
 
 // New validates cfg and returns an empty backend. Ads are indexed
@@ -76,13 +121,49 @@ func New(cfg Config) (*Backend, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
-	return &Backend{
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	b := &Backend{
 		cfg:         cfg,
+		reg:         reg,
+		met:         newBackendMetrics(reg),
 		visits:      trace.New(nil),
 		selector:    sel,
 		impressions: make(map[string]int64),
 		clicks:      make(map[string]int64),
-	}, nil
+	}
+	reg.Describe("hostprof_store_visits", "visits in the backend trace store")
+	reg.GaugeFunc("hostprof_store_visits", func() float64 {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		return float64(b.visits.Len())
+	})
+	reg.GaugeFunc("hostprof_store_users", func() float64 {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		return float64(len(b.visits.Users()))
+	})
+	reg.GaugeFunc("hostprof_model_trained", func() float64 {
+		if b.Ready() {
+			return 1
+		}
+		return 0
+	})
+	return b, nil
+}
+
+// Metrics returns the registry the backend exports into — the
+// configured one, or the private registry created when none was given.
+func (b *Backend) Metrics() *obs.Registry { return b.reg }
+
+// Ready reports whether the model has been trained, i.e. whether
+// /v1/report can serve ads; it backs the /healthz readiness probe.
+func (b *Backend) Ready() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.profiler != nil
 }
 
 // Retrain fits a fresh embedding on every per-user-day sequence stored so
@@ -91,10 +172,24 @@ func (b *Backend) Retrain() error {
 	b.mu.Lock()
 	corpus := b.visits.AllSequences()
 	b.mu.Unlock()
-	model, err := core.Train(corpus, b.cfg.Train)
+	tc := b.cfg.Train
+	user := tc.Progress
+	tc.Progress = func(e core.EpochStats) {
+		b.met.epochs.Inc()
+		b.met.epochSeconds.Observe(e.Duration.Seconds())
+		b.met.epochLoss.Set(e.Loss)
+		if user != nil {
+			user(e)
+		}
+	}
+	sp := obs.StartSpan(b.met.retrainSeconds)
+	model, err := core.Train(corpus, tc)
 	if err != nil {
+		b.met.retrainErrors.Inc()
 		return fmt.Errorf("server: retrain: %w", err)
 	}
+	sp.End()
+	b.met.retrains.Inc()
 	prof := core.NewProfiler(model, b.cfg.Ontology, b.cfg.Profile)
 	b.mu.Lock()
 	b.profiler = prof
@@ -105,15 +200,18 @@ func (b *Backend) Retrain() error {
 // report ingests one extension report and returns the replacement-ad
 // list for the user's current profile.
 func (b *Backend) report(userID int, now int64, hosts []string) ([]ads.Ad, error) {
+	b.met.reports.Inc()
 	b.mu.Lock()
 	for i, h := range hosts {
 		if b.cfg.Blocklist != nil && b.cfg.Blocklist.Contains(h) {
+			b.met.reportDrops.Inc()
 			continue
 		}
 		// Hosts within one report share the report timestamp; order is
 		// preserved by a strictly increasing sub-second offset encoded
 		// in visit order (trace sorting is stable).
 		b.visits.Append(trace.Visit{User: userID, Time: now, Host: hosts[i]})
+		b.met.reportHosts.Inc()
 	}
 	session := b.visits.Session(userID, now, b.cfg.SessionWindow)
 	prof := b.profiler
@@ -122,10 +220,12 @@ func (b *Backend) report(userID int, now int64, hosts []string) ([]ads.Ad, error
 	if prof == nil {
 		return nil, errNotTrained
 	}
+	sp := obs.StartSpan(b.met.profileSeconds)
 	profile, err := prof.ProfileSession(session)
 	if err != nil {
 		return nil, err
 	}
+	sp.End()
 	b.mu.Lock()
 	list := b.selector.Select(profile, b.cfg.AdsPerReport)
 	b.mu.Unlock()
@@ -134,14 +234,51 @@ func (b *Backend) report(userID int, now int64, hosts []string) ([]ads.Ad, error
 
 var errNotTrained = errors.New("server: model not trained yet")
 
-// observeImpression records one displayed ad.
+// observeImpression records one displayed ad, mirroring the campaign
+// maps into per-source gauges.
 func (b *Backend) observeImpression(source string, clicked bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.impressions[source]++
+	b.reg.Gauge("hostprof_campaign_impressions", obs.L("source", source)).
+		Set(float64(b.impressions[source]))
 	if clicked {
 		b.clicks[source]++
+		b.reg.Gauge("hostprof_campaign_clicks", obs.L("source", source)).
+			Set(float64(b.clicks[source]))
 	}
+}
+
+// CampaignStats is a typed snapshot of the ad-campaign counters, keyed
+// by ad source ("eavesdropper" / "original"), so tests and operators
+// can read CTR without scraping HTTP.
+type CampaignStats struct {
+	Impressions map[string]int64   `json:"impressions"`
+	Clicks      map[string]int64   `json:"clicks"`
+	CTRPercent  map[string]float64 `json:"ctr_percent"`
+}
+
+// CampaignStats snapshots the impression/click tallies.
+func (b *Backend) CampaignStats() CampaignStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.campaignStatsLocked()
+}
+
+func (b *Backend) campaignStatsLocked() CampaignStats {
+	cs := CampaignStats{
+		Impressions: make(map[string]int64, len(b.impressions)),
+		Clicks:      make(map[string]int64, len(b.clicks)),
+		CTRPercent:  make(map[string]float64, len(b.impressions)),
+	}
+	for k, v := range b.impressions {
+		cs.Impressions[k] = v
+		cs.Clicks[k] = b.clicks[k]
+		if v > 0 {
+			cs.CTRPercent[k] = 100 * float64(b.clicks[k]) / float64(v)
+		}
+	}
+	return cs
 }
 
 // Stats is the back-end's aggregate view.
@@ -159,23 +296,17 @@ type Stats struct {
 func (b *Backend) CurrentStats() Stats {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	cs := b.campaignStatsLocked()
 	st := Stats{
 		Visits:      b.visits.Len(),
 		Users:       len(b.visits.Users()),
 		Trained:     b.profiler != nil,
-		Impressions: make(map[string]int64, len(b.impressions)),
-		Clicks:      make(map[string]int64, len(b.clicks)),
-		CTRPercent:  make(map[string]float64, len(b.impressions)),
+		Impressions: cs.Impressions,
+		Clicks:      cs.Clicks,
+		CTRPercent:  cs.CTRPercent,
 	}
 	if b.profiler != nil {
 		st.VocabSize = b.profiler.Model().Vocab().Len()
-	}
-	for k, v := range b.impressions {
-		st.Impressions[k] = v
-		st.Clicks[k] = b.clicks[k]
-		if v > 0 {
-			st.CTRPercent[k] = 100 * float64(b.clicks[k]) / float64(v)
-		}
 	}
 	return st
 }
@@ -216,13 +347,49 @@ type FeedbackRequest struct {
 //	POST /v1/feedback   FeedbackRequest → 204
 //	POST /v1/retrain    (empty)        → 204
 //	GET  /v1/stats      → Stats
+//	GET  /metrics       → Prometheus text exposition
+//	GET  /varz          → JSON metrics snapshot
+//	GET  /healthz       → readiness (200 once the model is trained)
+//
+// Every /v1 endpoint is instrumented with a request counter
+// (hostprof_http_requests_total{endpoint,code}) and a latency histogram
+// (hostprof_http_request_seconds{endpoint}).
 func (b *Backend) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/report", b.handleReport)
-	mux.HandleFunc("POST /v1/feedback", b.handleFeedback)
-	mux.HandleFunc("POST /v1/retrain", b.handleRetrain)
-	mux.HandleFunc("GET /v1/stats", b.handleStats)
+	mux.HandleFunc("POST /v1/report", b.instrument("report", b.handleReport))
+	mux.HandleFunc("POST /v1/feedback", b.instrument("feedback", b.handleFeedback))
+	mux.HandleFunc("POST /v1/retrain", b.instrument("retrain", b.handleRetrain))
+	mux.HandleFunc("GET /v1/stats", b.instrument("stats", b.handleStats))
+	mux.Handle("GET /metrics", b.reg.MetricsHandler())
+	mux.Handle("GET /varz", b.reg.VarzHandler())
+	mux.Handle("GET /healthz", obs.HealthzHandler(b.Ready))
 	return mux
+}
+
+// statusRecorder captures the response code written by a handler.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps an endpoint handler with a per-endpoint latency
+// histogram and a per-(endpoint, code) request counter.
+func (b *Backend) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	lat := b.reg.Histogram("hostprof_http_request_seconds", nil, obs.L("endpoint", endpoint))
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		sp := obs.StartSpan(lat)
+		h(rec, r)
+		sp.End()
+		b.reg.Counter("hostprof_http_requests_total",
+			obs.L("endpoint", endpoint),
+			obs.L("code", strconv.Itoa(rec.code))).Inc()
+	}
 }
 
 const maxBodyBytes = 1 << 20

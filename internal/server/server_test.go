@@ -12,6 +12,7 @@ import (
 
 	"hostprof/internal/ads"
 	"hostprof/internal/core"
+	"hostprof/internal/obs"
 	"hostprof/internal/synth"
 )
 
@@ -26,6 +27,11 @@ type backendFixture struct {
 
 func newBackendFixture(t *testing.T) *backendFixture {
 	t.Helper()
+	return newBackendFixtureWith(t, nil)
+}
+
+func newBackendFixtureWith(t *testing.T, reg *obs.Registry) *backendFixture {
+	t.Helper()
 	u := synth.NewUniverse(synth.UniverseConfig{Sites: 100, Trackers: 15, Seed: 3})
 	ont := synth.BuildOntology(u, synth.OntologyConfig{Coverage: 0.2, Seed: 5})
 	db := ads.BuildFromOntology(ont, ads.BuildConfig{Seed: 7})
@@ -36,6 +42,7 @@ func newBackendFixture(t *testing.T) *backendFixture {
 		Blocklist: bl,
 		Train:     core.TrainConfig{Dim: 16, Epochs: 4, MinCount: 2, Workers: 1, Seed: 11, Subsample: -1},
 		Profile:   core.ProfilerConfig{N: 30, Agg: core.AggIDF},
+		Metrics:   reg,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -50,7 +50,7 @@ func TestObserverEvictsIdleFlows(t *testing.T) {
 	}
 	// A new flow far in the future triggers the sweep.
 	obs.ProcessPacket(mk(60000, 1000), 1000)
-	if obs.Stats.FlowsEvicted == 0 {
+	if obs.Stats().FlowsEvicted == 0 {
 		t.Fatal("no flows evicted after timeout")
 	}
 	if obs.ActiveFlows() >= 2048 {

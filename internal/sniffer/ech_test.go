@@ -33,8 +33,8 @@ func TestObserverIPFallbackOnECH(t *testing.T) {
 	if got.Len() != 3 {
 		t.Fatalf("recovered %d visits, want 3", got.Len())
 	}
-	if obs.Stats.IPFallbacks != 3 || obs.Stats.TLSVisits != 0 {
-		t.Fatalf("stats %+v", obs.Stats)
+	if obs.Stats().IPFallbacks != 3 || obs.Stats().TLSVisits != 0 {
+		t.Fatalf("stats %+v", obs.Stats())
 	}
 	vs := got.Visits()
 	// Same hidden hostname → same IP token, different hostname → other.
@@ -89,10 +89,10 @@ func TestECHProbMixes(t *testing.T) {
 	if got.Len() != 120 {
 		t.Fatalf("recovered %d visits", got.Len())
 	}
-	if obs.Stats.TLSVisits == 0 || obs.Stats.IPFallbacks == 0 {
-		t.Fatalf("mix degenerate: %+v", obs.Stats)
+	if obs.Stats().TLSVisits == 0 || obs.Stats().IPFallbacks == 0 {
+		t.Fatalf("mix degenerate: %+v", obs.Stats())
 	}
-	frac := float64(obs.Stats.IPFallbacks) / 120
+	frac := float64(obs.Stats().IPFallbacks) / 120
 	if frac < 0.3 || frac > 0.7 {
 		t.Fatalf("ECH fraction %.2f, want ~0.5", frac)
 	}

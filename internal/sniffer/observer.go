@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"hostprof/internal/obs"
 	"hostprof/internal/trace"
 )
 
@@ -47,6 +48,11 @@ type ObserverConfig struct {
 	// Paper Section 7.2: "encrypted SNI ... do not hide the IP address
 	// that may be used by the profiling algorithm".
 	IPFallback bool
+	// Metrics, when non-nil, is the registry the observer exports its
+	// counters into under hostprof_sniffer_* names (see internal/obs).
+	// Nil keeps the counters private to the observer; they remain
+	// readable through Stats either way.
+	Metrics *obs.Registry
 }
 
 func (c ObserverConfig) withDefaults() ObserverConfig {
@@ -83,11 +89,11 @@ type Observer struct {
 	// (ECH) flows to real hostnames instead of raw IP tokens.
 	ipToHost map[[16]byte]string
 
-	// Stats counts what the observer saw, for diagnostics.
-	Stats ObserverStats
+	met observerMetrics
 }
 
-// ObserverStats tallies observer activity.
+// ObserverStats is a point-in-time snapshot of the observer's counters,
+// as returned by Stats.
 type ObserverStats struct {
 	Packets           int64
 	Undecodable       int64
@@ -101,12 +107,78 @@ type ObserverStats struct {
 	FlowsEvicted      int64
 }
 
+// observerMetrics holds the observer's registry handles, resolved once
+// at construction so the per-packet path pays exactly one atomic add.
+type observerMetrics struct {
+	packets           *obs.Counter
+	undecodable       *obs.Counter
+	tlsVisits         *obs.Counter
+	quicVisits        *obs.Counter
+	dnsVisits         *obs.Counter
+	ipFallbacks       *obs.Counter
+	resolvedFallbacks *obs.Counter
+	dnsMappings       *obs.Counter
+	flowsTracked      *obs.Counter
+	flowsEvicted      *obs.Counter
+	flowsActive       *obs.Gauge
+}
+
+func newObserverMetrics(reg *obs.Registry) observerMetrics {
+	visits := func(channel string) *obs.Counter {
+		return reg.Counter("hostprof_sniffer_visits_total", obs.L("channel", channel))
+	}
+	reg.Describe("hostprof_sniffer_visits_total", "hostname visits extracted, by leak channel")
+	reg.Describe("hostprof_sniffer_packets_total", "Ethernet frames offered to the observer")
+	reg.Describe("hostprof_sniffer_flows_active", "TCP flows currently buffered awaiting an SNI")
+	return observerMetrics{
+		packets:           reg.Counter("hostprof_sniffer_packets_total"),
+		undecodable:       reg.Counter("hostprof_sniffer_undecodable_total"),
+		tlsVisits:         visits("tls"),
+		quicVisits:        visits("quic"),
+		dnsVisits:         visits("dns"),
+		ipFallbacks:       visits("ip_fallback"),
+		resolvedFallbacks: reg.Counter("hostprof_sniffer_resolved_fallbacks_total"),
+		dnsMappings:       reg.Counter("hostprof_sniffer_dns_mappings_total"),
+		flowsTracked:      reg.Counter("hostprof_sniffer_flows_opened_total"),
+		flowsEvicted:      reg.Counter("hostprof_sniffer_flows_evicted_total"),
+		flowsActive:       reg.Gauge("hostprof_sniffer_flows_active"),
+	}
+}
+
 // NewObserver returns an observer with the given configuration.
 func NewObserver(cfg ObserverConfig) *Observer {
+	cfg = cfg.withDefaults()
+	reg := cfg.Metrics
+	if reg == nil {
+		// A private registry keeps the counters atomic (and Stats safe)
+		// without exporting anything.
+		reg = obs.NewRegistry()
+	}
 	return &Observer{
-		cfg:      cfg.withDefaults(),
+		cfg:      cfg,
 		flows:    make(map[FlowKey]*flowState),
 		ipToHost: make(map[[16]byte]string),
+		met:      newObserverMetrics(reg),
+	}
+}
+
+// Stats snapshots the observer's counters. Unlike ProcessPacket — which
+// must stay on a single goroutine — Stats is safe to call concurrently
+// with packet processing: every counter is read atomically. The snapshot
+// is per-counter consistent, not globally consistent (a visit counted
+// mid-snapshot may show in one field and not another).
+func (o *Observer) Stats() ObserverStats {
+	return ObserverStats{
+		Packets:           o.met.packets.Value(),
+		Undecodable:       o.met.undecodable.Value(),
+		TLSVisits:         o.met.tlsVisits.Value(),
+		QUICVisits:        o.met.quicVisits.Value(),
+		DNSVisits:         o.met.dnsVisits.Value(),
+		IPFallbacks:       o.met.ipFallbacks.Value(),
+		ResolvedFallbacks: o.met.resolvedFallbacks.Value(),
+		DNSMappings:       o.met.dnsMappings.Value(),
+		FlowsTracked:      o.met.flowsTracked.Value(),
+		FlowsEvicted:      o.met.flowsEvicted.Value(),
 	}
 }
 
@@ -124,9 +196,9 @@ func portIn(p uint16, ports []uint16) bool {
 // (seconds). When the packet completes a hostname observation, the
 // corresponding visit is returned with ok = true.
 func (o *Observer) ProcessPacket(data []byte, ts int64) (v trace.Visit, ok bool) {
-	o.Stats.Packets++
+	o.met.packets.Inc()
 	if err := DecodePacket(data, &o.pkt); err != nil {
-		o.Stats.Undecodable++
+		o.met.undecodable.Inc()
 		return trace.Visit{}, false
 	}
 	p := &o.pkt
@@ -143,14 +215,14 @@ func (o *Observer) ProcessPacket(data []byte, ts int64) (v trace.Visit, ok bool)
 			if err != nil {
 				return trace.Visit{}, false
 			}
-			o.Stats.DNSVisits++
+			o.met.dnsVisits.Inc()
 			return trace.Visit{User: o.cfg.UserOf(p.SrcAddr()), Time: ts, Host: host}, true
 		case portIn(p.UDP.DstPort, o.cfg.QUICPorts):
 			host, err := ParseQUICInitialSNI(p.Payload)
 			if err != nil {
 				return trace.Visit{}, false
 			}
-			o.Stats.QUICVisits++
+			o.met.quicVisits.Inc()
 			return trace.Visit{User: o.cfg.UserOf(p.SrcAddr()), Time: ts, Host: host}, true
 		}
 	case ProtoTCP:
@@ -175,8 +247,9 @@ func (o *Observer) processTCP(ts int64) (trace.Visit, bool) {
 	if st == nil {
 		st = &flowState{asm: newStreamAssembler()}
 		o.flows[key] = st
-		o.Stats.FlowsTracked++
+		o.met.flowsTracked.Inc()
 		o.maybeEvict(ts)
+		o.met.flowsActive.Set(float64(len(o.flows)))
 	}
 	st.lastSeen = ts
 	if st.done {
@@ -200,7 +273,7 @@ func (o *Observer) processTCP(ts int64) (trace.Visit, bool) {
 	case err == nil:
 		st.done = true
 		st.asm.Release()
-		o.Stats.TLSVisits++
+		o.met.tlsVisits.Inc()
 		return trace.Visit{User: o.cfg.UserOf(p.SrcAddr()), Time: ts, Host: host}, true
 	case errors.Is(err, ErrNeedMore):
 		return trace.Visit{}, false
@@ -210,7 +283,7 @@ func (o *Observer) processTCP(ts int64) (trace.Visit, bool) {
 		if o.cfg.IPFallback {
 			// ECH or SNI-less hello: fall back to the destination
 			// address, or a hostname learned from DNS responses.
-			o.Stats.IPFallbacks++
+			o.met.ipFallbacks.Inc()
 			return trace.Visit{User: o.cfg.UserOf(p.SrcAddr()), Time: ts, Host: o.hostForAddr(p.DstAddr())}, true
 		}
 		return trace.Visit{}, false
@@ -226,7 +299,7 @@ func (o *Observer) processTCP(ts int64) (trace.Visit, bool) {
 // observed DNS responses, falling back to the raw IP token.
 func (o *Observer) hostForAddr(addr [16]byte) string {
 	if h, ok := o.ipToHost[addr]; ok {
-		o.Stats.ResolvedFallbacks++
+		o.met.resolvedFallbacks.Inc()
 		return h
 	}
 	return IPToken(addr)
@@ -249,7 +322,7 @@ func (o *Observer) learnDNSResponse(datagram []byte) {
 	}
 	for _, a := range addrs {
 		o.ipToHost[a] = host
-		o.Stats.DNSMappings++
+		o.met.dnsMappings.Inc()
 	}
 }
 
@@ -262,7 +335,7 @@ func (o *Observer) maybeEvict(now int64) {
 	for k, st := range o.flows {
 		if now-st.lastSeen > o.cfg.FlowTimeout {
 			delete(o.flows, k)
-			o.Stats.FlowsEvicted++
+			o.met.flowsEvicted.Inc()
 		}
 	}
 }

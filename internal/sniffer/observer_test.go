@@ -30,8 +30,8 @@ func TestObserverRecoversTLSVisits(t *testing.T) {
 			t.Fatalf("visit %d = %+v, want %+v", i, v, want[i])
 		}
 	}
-	if obs.Stats.TLSVisits != 3 {
-		t.Fatalf("stats: %+v", obs.Stats)
+	if obs.Stats().TLSVisits != 3 {
+		t.Fatalf("stats: %+v", obs.Stats())
 	}
 }
 
@@ -64,8 +64,8 @@ func TestObserverRecoversQUIC(t *testing.T) {
 	if got.Len() != 2 {
 		t.Fatalf("recovered %d visits", got.Len())
 	}
-	if obs.Stats.QUICVisits != 2 {
-		t.Fatalf("stats: %+v", obs.Stats)
+	if obs.Stats().QUICVisits != 2 {
+		t.Fatalf("stats: %+v", obs.Stats())
 	}
 }
 
@@ -81,8 +81,8 @@ func TestObserverRecoversDNS(t *testing.T) {
 	if got.Len() != 1 || got.Visits()[0].Host != "dns.example" {
 		t.Fatalf("recovered %v", got.Visits())
 	}
-	if obs.Stats.DNSVisits != 1 {
-		t.Fatalf("stats: %+v", obs.Stats)
+	if obs.Stats().DNSVisits != 1 {
+		t.Fatalf("stats: %+v", obs.Stats())
 	}
 }
 
@@ -131,8 +131,8 @@ func TestObserverMixedChannel(t *testing.T) {
 	if got.Len() != 60 {
 		t.Fatalf("recovered %d/60 visits", got.Len())
 	}
-	if obs.Stats.TLSVisits == 0 || obs.Stats.QUICVisits == 0 || obs.Stats.DNSVisits == 0 {
-		t.Fatalf("mixed channel skipped a transport: %+v", obs.Stats)
+	if obs.Stats().TLSVisits == 0 || obs.Stats().QUICVisits == 0 || obs.Stats().DNSVisits == 0 {
+		t.Fatalf("mixed channel skipped a transport: %+v", obs.Stats())
 	}
 }
 
@@ -141,8 +141,8 @@ func TestObserverIgnoresGarbageAndServerTraffic(t *testing.T) {
 	if _, ok := obs.ProcessPacket([]byte{1, 2, 3}, 0); ok {
 		t.Fatal("garbage produced a visit")
 	}
-	if obs.Stats.Undecodable != 1 {
-		t.Fatalf("stats: %+v", obs.Stats)
+	if obs.Stats().Undecodable != 1 {
+		t.Fatalf("stats: %+v", obs.Stats())
 	}
 	// Server→client TCP (src port 443) must be ignored.
 	pkt := tcpFrame([4]byte{93, 0, 0, 1}, [4]byte{10, 0, 1, 1}, 443, 50000, 1, 1, TCPFlagACK, []byte("x"))

@@ -196,8 +196,8 @@ func TestObserverLearnsDNSAndResolvesECH(t *testing.T) {
 			t.Fatalf("host %q, want real hostname via learned DNS mapping", v.Host)
 		}
 	}
-	if obs.Stats.ResolvedFallbacks != 1 || obs.Stats.DNSMappings == 0 {
-		t.Fatalf("stats %+v", obs.Stats)
+	if obs.Stats().ResolvedFallbacks != 1 || obs.Stats().DNSMappings == 0 {
+		t.Fatalf("stats %+v", obs.Stats())
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"hostprof/internal/core"
+	"hostprof/internal/obs"
 	"hostprof/internal/sniffer"
 	"hostprof/internal/trace"
 )
@@ -27,6 +28,11 @@ type PipelineConfig struct {
 	Blocklist *Blocklist
 	// Ontology supplies the labelled subset H_L.
 	Ontology *Ontology
+	// Metrics, when non-nil, is the registry every pipeline stage
+	// exports into (hostprof_* names; see internal/obs). Nil creates a
+	// private registry, retrievable via Pipeline.Metrics, so the
+	// pipeline is always instrumented.
+	Metrics *obs.Registry
 }
 
 // Pipeline is the end-to-end eavesdropper: packets in, profiles and ads
@@ -35,12 +41,52 @@ type PipelineConfig struct {
 // which serialize on an internal lock.
 type Pipeline struct {
 	cfg PipelineConfig
+	reg *obs.Registry
+	met pipelineMetrics
 
 	mu       sync.Mutex
 	observer *Observer
 	visits   *Trace
 	model    *Model
 	profiler *Profiler
+}
+
+// pipelineMetrics caches the pipeline's registry handles.
+type pipelineMetrics struct {
+	frames         *obs.Counter
+	visits         *obs.Counter
+	blocked        *obs.Counter
+	retrains       *obs.Counter
+	retrainErrors  *obs.Counter
+	retrainSeconds *obs.Histogram
+	epochs         *obs.Counter
+	epochSeconds   *obs.Histogram
+	epochLoss      *obs.Gauge
+	profileSeconds *obs.Histogram
+	profileErrors  *obs.Counter
+}
+
+// retrainBuckets spans sub-second toy corpora to multi-hour production
+// retrains.
+var retrainBuckets = obs.ExpBuckets(0.01, 4, 10)
+
+func newPipelineMetrics(reg *obs.Registry) pipelineMetrics {
+	reg.Describe("hostprof_ingest_visits_total", "visits recorded into the trace store")
+	reg.Describe("hostprof_retrain_seconds", "wall time of full model retrains")
+	reg.Describe("hostprof_train_epoch_loss", "mean negative-sampling loss of the last epoch")
+	return pipelineMetrics{
+		frames:         reg.Counter("hostprof_ingest_frames_total"),
+		visits:         reg.Counter("hostprof_ingest_visits_total"),
+		blocked:        reg.Counter("hostprof_ingest_blocklist_drops_total"),
+		retrains:       reg.Counter("hostprof_retrain_total"),
+		retrainErrors:  reg.Counter("hostprof_retrain_errors_total"),
+		retrainSeconds: reg.Histogram("hostprof_retrain_seconds", retrainBuckets),
+		epochs:         reg.Counter("hostprof_train_epochs_total"),
+		epochSeconds:   reg.Histogram("hostprof_train_epoch_seconds", retrainBuckets),
+		epochLoss:      reg.Gauge("hostprof_train_epoch_loss"),
+		profileSeconds: reg.Histogram("hostprof_profile_seconds", nil),
+		profileErrors:  reg.Counter("hostprof_profile_errors_total"),
+	}
 }
 
 // NewPipeline validates cfg and returns an empty pipeline.
@@ -51,17 +97,31 @@ func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
 	if cfg.SessionWindow <= 0 {
 		cfg.SessionWindow = 20 * 60
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	if cfg.Observer.Metrics == nil {
+		cfg.Observer.Metrics = reg
+	}
 	return &Pipeline{
 		cfg:      cfg,
+		reg:      reg,
+		met:      newPipelineMetrics(reg),
 		observer: sniffer.NewObserver(cfg.Observer),
 		visits:   trace.New(nil),
 	}, nil
 }
 
+// Metrics returns the registry the pipeline exports into — the
+// configured one, or the private registry created when none was given.
+func (p *Pipeline) Metrics() *obs.Registry { return p.reg }
+
 // Ingest feeds one captured Ethernet frame taken at ts (seconds) to the
 // observer; any extracted visit is recorded (unless blocklisted).
 // It reports whether a hostname was extracted.
 func (p *Pipeline) Ingest(frame []byte, ts int64) bool {
+	p.met.frames.Inc()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	v, ok := p.observer.ProcessPacket(frame, ts)
@@ -69,9 +129,11 @@ func (p *Pipeline) Ingest(frame []byte, ts int64) bool {
 		return false
 	}
 	if p.cfg.Blocklist != nil && p.cfg.Blocklist.Contains(v.Host) {
+		p.met.blocked.Inc()
 		return false
 	}
 	p.visits.Append(v)
+	p.met.visits.Inc()
 	return true
 }
 
@@ -81,9 +143,11 @@ func (p *Pipeline) IngestVisit(v Visit) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.cfg.Blocklist != nil && p.cfg.Blocklist.Contains(v.Host) {
+		p.met.blocked.Inc()
 		return false
 	}
 	p.visits.Append(v)
+	p.met.visits.Inc()
 	return true
 }
 
@@ -95,18 +159,34 @@ func (p *Pipeline) Trace() *Trace {
 	return p.visits
 }
 
-// Retrain fits a fresh embedding on every per-user-day sequence observed
-// so far and swaps it in, mirroring the paper's daily retraining
-// (Section 5.4).
-func (p *Pipeline) Retrain() error {
-	p.mu.Lock()
-	corpus := p.visits.AllSequences()
-	p.mu.Unlock()
-
-	model, err := core.Train(corpus, p.cfg.Train)
-	if err != nil {
-		return fmt.Errorf("hostprof: retraining: %w", err)
+// trainConfig returns the configured TrainConfig with the pipeline's
+// epoch instrumentation chained in front of any caller-supplied
+// Progress hook.
+func (p *Pipeline) trainConfig() core.TrainConfig {
+	tc := p.cfg.Train
+	user := tc.Progress
+	tc.Progress = func(e core.EpochStats) {
+		p.met.epochs.Inc()
+		p.met.epochSeconds.Observe(e.Duration.Seconds())
+		p.met.epochLoss.Set(e.Loss)
+		if user != nil {
+			user(e)
+		}
 	}
+	return tc
+}
+
+// retrain fits a model on corpus and swaps it in, recording retrain
+// duration and outcome.
+func (p *Pipeline) retrain(corpus [][]string, label string) error {
+	sp := obs.StartSpan(p.met.retrainSeconds)
+	model, err := core.Train(corpus, p.trainConfig())
+	if err != nil {
+		p.met.retrainErrors.Inc()
+		return fmt.Errorf("hostprof: %s: %w", label, err)
+	}
+	sp.End()
+	p.met.retrains.Inc()
 	profiler := core.NewProfiler(model, p.cfg.Ontology, p.cfg.Profile)
 
 	p.mu.Lock()
@@ -116,24 +196,23 @@ func (p *Pipeline) Retrain() error {
 	return nil
 }
 
+// Retrain fits a fresh embedding on every per-user-day sequence observed
+// so far and swaps it in, mirroring the paper's daily retraining
+// (Section 5.4).
+func (p *Pipeline) Retrain() error {
+	p.mu.Lock()
+	corpus := p.visits.AllSequences()
+	p.mu.Unlock()
+	return p.retrain(corpus, "retraining")
+}
+
 // RetrainOnDay fits the embedding on a single day's sequences (the
 // paper's "previous whole day") instead of the full history.
 func (p *Pipeline) RetrainOnDay(day int) error {
 	p.mu.Lock()
 	corpus := p.visits.DailySequences(day)
 	p.mu.Unlock()
-
-	model, err := core.Train(corpus, p.cfg.Train)
-	if err != nil {
-		return fmt.Errorf("hostprof: retraining on day %d: %w", day, err)
-	}
-	profiler := core.NewProfiler(model, p.cfg.Ontology, p.cfg.Profile)
-
-	p.mu.Lock()
-	p.model = model
-	p.profiler = profiler
-	p.mu.Unlock()
-	return nil
+	return p.retrain(corpus, fmt.Sprintf("retraining on day %d", day))
 }
 
 // ErrNotTrained is returned by profiling before the first Retrain.
@@ -146,6 +225,30 @@ func (p *Pipeline) Model() *Model {
 	return p.model
 }
 
+// Ready reports whether the pipeline has a trained model, i.e. whether
+// profiling can succeed (a readiness probe).
+func (p *Pipeline) Ready() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.profiler != nil
+}
+
+// profile runs one session through the profiler, timing it and counting
+// failures.
+func (p *Pipeline) profile(profiler *Profiler, hosts []string) (Vector, error) {
+	if profiler == nil {
+		return nil, ErrNotTrained
+	}
+	sp := obs.StartSpan(p.met.profileSeconds)
+	v, err := profiler.ProfileSession(hosts)
+	if err != nil {
+		p.met.profileErrors.Inc()
+		return nil, err
+	}
+	sp.End()
+	return v, nil
+}
+
 // ProfileUser profiles the hostnames user requested in the window
 // (now-T, now].
 func (p *Pipeline) ProfileUser(user int, now int64) (Vector, error) {
@@ -153,10 +256,7 @@ func (p *Pipeline) ProfileUser(user int, now int64) (Vector, error) {
 	profiler := p.profiler
 	session := p.visits.Session(user, now, p.cfg.SessionWindow)
 	p.mu.Unlock()
-	if profiler == nil {
-		return nil, ErrNotTrained
-	}
-	return profiler.ProfileSession(session)
+	return p.profile(profiler, session)
 }
 
 // ProfileSession profiles an explicit hostname sequence.
@@ -164,15 +264,13 @@ func (p *Pipeline) ProfileSession(hosts []string) (Vector, error) {
 	p.mu.Lock()
 	profiler := p.profiler
 	p.mu.Unlock()
-	if profiler == nil {
-		return nil, ErrNotTrained
-	}
-	return profiler.ProfileSession(hosts)
+	return p.profile(profiler, hosts)
 }
 
-// ObserverStats returns packet-level counters.
+// ObserverStats returns packet-level counters. The snapshot is built
+// from the observer's atomic counters, so it is safe even while another
+// goroutine is inside Ingest; the same guarantee holds for
+// Observer.Stats when a sniffer.Observer is used directly.
 func (p *Pipeline) ObserverStats() sniffer.ObserverStats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.observer.Stats
+	return p.observer.Stats()
 }
