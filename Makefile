@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet bench bench-json ci experiments experiments-small examples clean
+.PHONY: all build test vet bench bench-json fuzz ci experiments experiments-small examples clean
 
 all: vet test build
 
@@ -24,6 +24,10 @@ bench-json:
 	$(GO) test -bench=. -benchmem -benchtime 1x -run '^$$' . | $(GO) run ./cmd/benchjson > BENCH_results.json
 	@echo wrote BENCH_results.json
 
+# Short fuzz smoke over the WAL record decoder (CI runs the same).
+fuzz:
+	$(GO) test ./internal/store -run '^$$' -fuzz '^FuzzWALRecord$$' -fuzztime 10s
+
 # Mirrors .github/workflows/ci.yml.
 ci:
 	@fmt="$$(gofmt -l .)"; if [ -n "$$fmt" ]; then echo "gofmt needed: $$fmt"; exit 1; fi
@@ -31,6 +35,7 @@ ci:
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) test -race ./internal/...
+	$(GO) test ./internal/store -run '^$$' -fuzz '^FuzzWALRecord$$' -fuzztime 10s
 
 experiments:
 	$(GO) run ./cmd/experiments -verbose -data-dir data

@@ -10,6 +10,7 @@ package hostprof_test
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"hostprof"
@@ -18,6 +19,7 @@ import (
 	"hostprof/internal/experiment"
 	"hostprof/internal/sniffer"
 	"hostprof/internal/stats"
+	"hostprof/internal/store"
 	"hostprof/internal/synth"
 	"hostprof/internal/trace"
 	"hostprof/internal/tsne"
@@ -455,6 +457,110 @@ func BenchmarkUniverseGeneration(b *testing.B) {
 			b.Fatal("empty universe")
 		}
 	}
+}
+
+// --- Durable store (internal/store) -------------------------------------
+
+// BenchmarkPipelineParallelIngest measures concurrent visit ingestion
+// through the public pipeline: with the sharded store, callers contend
+// only on their visit's shard, so throughput should scale with
+// GOMAXPROCS instead of serializing on one mutex.
+func BenchmarkPipelineParallelIngest(b *testing.B) {
+	s := setupBench(b)
+	p, err := hostprof.NewPipeline(hostprof.PipelineConfig{Ontology: s.Ontology})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var next int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// Distinct users per goroutine spread appends across shards the
+		// way distinct subscriber lines would.
+		user := int(atomic.AddInt64(&next, 1))
+		t := int64(0)
+		for pb.Next() {
+			t++
+			p.IngestVisit(trace.Visit{User: user, Time: t, Host: "ingest.bench.example"})
+		}
+	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "visits/s")
+}
+
+// BenchmarkStoreAppendParallel isolates shard scaling: the same parallel
+// append load against 1, 8 and 32 shards. One shard reproduces the old
+// single-mutex hot path.
+func BenchmarkStoreAppendParallel(b *testing.B) {
+	for _, shards := range []int{1, 8, 32} {
+		b.Run(map[int]string{1: "shards1", 8: "shards8", 32: "shards32"}[shards], func(b *testing.B) {
+			st, err := store.Open(store.Config{Shards: shards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			var next int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				user := int(atomic.AddInt64(&next, 1))
+				t := int64(0)
+				for pb.Next() {
+					t++
+					if err := st.Append(trace.Visit{User: user, Time: t, Host: "shard.bench.example"}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkStoreWALAppend measures the durable append path (WAL write,
+// interval fsync) — the per-visit cost a network observer pays for crash
+// safety.
+func BenchmarkStoreWALAppend(b *testing.B) {
+	st, err := store.Open(store.Config{Dir: b.TempDir(), Fsync: store.FsyncInterval})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.Append(trace.Visit{User: i & 63, Time: int64(i), Host: "wal.bench.example"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "appends/s")
+}
+
+// BenchmarkStoreRecovery measures startup WAL replay: the dir is
+// populated once and every iteration re-opens it cold (Close never
+// snapshots, so each Open replays the full log).
+func BenchmarkStoreRecovery(b *testing.B) {
+	const visits = 20000
+	dir := b.TempDir()
+	st, err := store.Open(store.Config{Dir: dir, Fsync: store.FsyncNever})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < visits; i++ {
+		if err := st.Append(trace.Visit{User: i & 63, Time: int64(i), Host: "recovery.bench.example"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := store.Open(store.Config{Dir: dir, Fsync: store.FsyncNever})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := st.Recovery().ReplayedRecords; got != visits {
+			b.Fatalf("replayed %d records, want %d", got, visits)
+		}
+		st.Close()
+	}
+	b.ReportMetric(float64(visits)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
 }
 
 // --- Section 7.2 extensions ---------------------------------------------

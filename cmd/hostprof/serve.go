@@ -1,17 +1,23 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"hostprof/internal/ads"
 	"hostprof/internal/core"
 	"hostprof/internal/obs"
 	"hostprof/internal/ontology"
 	"hostprof/internal/server"
+	"hostprof/internal/store"
 )
 
 // cmdServe runs the profiling/ad back-end over artefacts produced by
@@ -28,11 +34,18 @@ func cmdServe(args []string) error {
 	n := fs.Int("n", 40, "profiler neighbourhood size N")
 	adsSeed := fs.Uint64("ads-seed", 1, "ad inventory seed")
 	withPprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	dataDir := fs.String("data-dir", "", "durable store directory (WAL + snapshots); empty keeps visits in memory only")
+	fsync := fs.String("fsync", "interval", "WAL fsync policy: always, interval or never")
+	snapEvery := fs.Duration("snapshot-interval", 10*time.Minute, "periodic snapshot cadence with -data-dir (0 disables the timer)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *ontPath == "" {
 		return fmt.Errorf("-ontology is required")
+	}
+	fsyncPolicy, err := store.ParseFsync(*fsync)
+	if err != nil {
+		return err
 	}
 
 	tax := ontology.NewTaxonomy()
@@ -62,15 +75,30 @@ func cmdServe(args []string) error {
 
 	db := ads.BuildFromOntology(ont, ads.BuildConfig{Seed: *adsSeed})
 	backend, err := server.New(server.Config{
-		Ontology:  ont,
-		AdDB:      db,
-		Blocklist: bl,
-		Train:     core.TrainConfig{Dim: *dim, Epochs: *epochs},
-		Profile:   core.ProfilerConfig{N: *n, Agg: core.AggIDF},
-		Metrics:   obs.Default,
+		Ontology:      ont,
+		AdDB:          db,
+		Blocklist:     bl,
+		Train:         core.TrainConfig{Dim: *dim, Epochs: *epochs},
+		Profile:       core.ProfilerConfig{N: *n, Agg: core.AggIDF},
+		Metrics:       obs.Default,
+		DataDir:       *dataDir,
+		Fsync:         fsyncPolicy,
+		SnapshotEvery: *snapEvery,
 	})
 	if err != nil {
 		return err
+	}
+	if *dataDir != "" {
+		rec := backend.Store().Recovery()
+		fmt.Printf("store: %s (fsync=%s); recovered %d snapshot visits + %d wal records",
+			*dataDir, fsyncPolicy, rec.SnapshotVisits, rec.ReplayedRecords)
+		if rec.TornTail {
+			fmt.Printf(" (torn final record dropped)")
+		}
+		if rec.ModelRestored {
+			fmt.Printf("; model restored — serving warm")
+		}
+		fmt.Println()
 	}
 
 	handler := backend.Handler()
@@ -91,5 +119,27 @@ func cmdServe(args []string) error {
 	if *withPprof {
 		fmt.Println("profiling: GET /debug/pprof/")
 	}
-	return http.ListenAndServe(*addr, handler)
+
+	// Serve until SIGTERM/SIGINT, then drain in-flight requests and shut
+	// the store down cleanly: flush the WAL and snapshot, so the next
+	// start recovers instantly instead of replaying the whole log.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	srv := &http.Server{Addr: *addr, Handler: handler}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
+	select {
+	case err := <-serveErr:
+		backend.Close()
+		return err
+	case <-ctx.Done():
+		fmt.Println("\nshutting down: draining requests, flushing store")
+		shCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			backend.Close()
+			return err
+		}
+		return backend.Close()
+	}
 }

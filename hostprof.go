@@ -33,6 +33,7 @@ import (
 	"hostprof/internal/obs"
 	"hostprof/internal/ontology"
 	"hostprof/internal/sniffer"
+	"hostprof/internal/store"
 	"hostprof/internal/trace"
 )
 
@@ -79,6 +80,18 @@ type (
 	// Trace is a time-ordered visit collection with session windowing.
 	Trace = trace.Trace
 
+	// VisitStore is the sharded visit store with optional WAL + snapshot
+	// durability (see internal/store); wire one into PipelineConfig.Store
+	// to survive restarts.
+	VisitStore = store.Store
+	// StoreConfig assembles a VisitStore (directory, shards, fsync
+	// policy, snapshot cadence).
+	StoreConfig = store.Config
+	// FsyncPolicy selects when WAL writes reach stable storage.
+	FsyncPolicy = store.FsyncPolicy
+	// StoreRecoveryStats reports what startup recovery found.
+	StoreRecoveryStats = store.RecoveryStats
+
 	// Observer extracts visits from raw packets.
 	Observer = sniffer.Observer
 	// ObserverConfig tunes the observer (user mapping, ports).
@@ -102,6 +115,22 @@ const (
 	AggSum  = core.AggSum
 	AggIDF  = core.AggIDF
 )
+
+// WAL fsync policies for StoreConfig.Fsync.
+const (
+	FsyncInterval = store.FsyncInterval
+	FsyncAlways   = store.FsyncAlways
+	FsyncNever    = store.FsyncNever
+)
+
+// OpenStore builds a visit store, recovering durable state from
+// cfg.Dir when set. An empty Dir yields a purely in-memory sharded
+// store.
+func OpenStore(cfg StoreConfig) (*VisitStore, error) { return store.Open(cfg) }
+
+// ParseFsync parses a WAL fsync policy flag ("always", "interval",
+// "never").
+func ParseFsync(s string) (FsyncPolicy, error) { return store.ParseFsync(s) }
 
 // Errors surfaced by the profiling pipeline.
 var (

@@ -17,11 +17,13 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"hostprof/internal/ads"
 	"hostprof/internal/core"
 	"hostprof/internal/obs"
 	"hostprof/internal/ontology"
+	"hostprof/internal/store"
 	"hostprof/internal/trace"
 )
 
@@ -47,6 +49,17 @@ type Config struct {
 	// registry, retrievable via Backend.Metrics, so /metrics and /varz
 	// always have content.
 	Metrics *obs.Registry
+	// DataDir, when non-empty, makes the visit store durable: every
+	// report is written to a WAL under this directory, snapshots
+	// (visits + model) are taken after each retrain, and startup
+	// recovers both — a killed backend restarts with its store and a
+	// warm model.
+	DataDir string
+	// Fsync selects the WAL flush policy (default store.FsyncInterval).
+	Fsync store.FsyncPolicy
+	// SnapshotEvery, when positive, snapshots on a timer in addition to
+	// the after-retrain and shutdown snapshots.
+	SnapshotEvery time.Duration
 }
 
 // Backend is the profiling/ad server. All methods are safe for
@@ -56,8 +69,9 @@ type Backend struct {
 	reg *obs.Registry
 	met backendMetrics
 
+	store *store.Store
+
 	mu       sync.Mutex
-	visits   *trace.Trace
 	profiler *core.Profiler
 	selector *ads.Selector
 
@@ -125,26 +139,29 @@ func New(cfg Config) (*Backend, error) {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	st, err := store.Open(store.Config{
+		Dir:           cfg.DataDir,
+		Fsync:         cfg.Fsync,
+		SnapshotEvery: cfg.SnapshotEvery,
+		Metrics:       reg,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
 	b := &Backend{
 		cfg:         cfg,
 		reg:         reg,
 		met:         newBackendMetrics(reg),
-		visits:      trace.New(nil),
+		store:       st,
 		selector:    sel,
 		impressions: make(map[string]int64),
 		clicks:      make(map[string]int64),
 	}
-	reg.Describe("hostprof_store_visits", "visits in the backend trace store")
-	reg.GaugeFunc("hostprof_store_visits", func() float64 {
-		b.mu.Lock()
-		defer b.mu.Unlock()
-		return float64(b.visits.Len())
-	})
-	reg.GaugeFunc("hostprof_store_users", func() float64 {
-		b.mu.Lock()
-		defer b.mu.Unlock()
-		return float64(len(b.visits.Users()))
-	})
+	// A snapshot-restored model means the backend is ready to serve ads
+	// immediately, without waiting for the first retrain.
+	if m := st.Model(); m != nil {
+		b.profiler = core.NewProfiler(m, cfg.Ontology, cfg.Profile)
+	}
 	reg.GaugeFunc("hostprof_model_trained", func() float64 {
 		if b.Ready() {
 			return 1
@@ -152,6 +169,22 @@ func New(cfg Config) (*Backend, error) {
 		return 0
 	})
 	return b, nil
+}
+
+// Store returns the backend's visit store, for durability operations and
+// recovery stats.
+func (b *Backend) Store() *store.Store { return b.store }
+
+// Close flushes the store, takes a final snapshot (so the next start
+// recovers instantly) and releases the WAL. It is the graceful-shutdown
+// half of the durability contract; a SIGKILLed backend relies on WAL
+// replay instead.
+func (b *Backend) Close() error {
+	snapErr := b.store.Snapshot()
+	if err := b.store.Close(); err != nil {
+		return err
+	}
+	return snapErr
 }
 
 // Metrics returns the registry the backend exports into — the
@@ -168,10 +201,10 @@ func (b *Backend) Ready() bool {
 
 // Retrain fits a fresh embedding on every per-user-day sequence stored so
 // far and swaps in a new profiler (the paper's daily retraining step).
+// On success the model is handed to the store and a snapshot is taken,
+// so a crash after a retrain recovers warm.
 func (b *Backend) Retrain() error {
-	b.mu.Lock()
-	corpus := b.visits.AllSequences()
-	b.mu.Unlock()
+	corpus := b.store.AllSequences()
 	tc := b.cfg.Train
 	user := tc.Progress
 	tc.Progress = func(e core.EpochStats) {
@@ -182,38 +215,47 @@ func (b *Backend) Retrain() error {
 			user(e)
 		}
 	}
+	// The duration histogram observes failed retrains too, so slow
+	// failures remain visible in hostprof_retrain_seconds.
 	sp := obs.StartSpan(b.met.retrainSeconds)
 	model, err := core.Train(corpus, tc)
+	sp.End()
 	if err != nil {
 		b.met.retrainErrors.Inc()
 		return fmt.Errorf("server: retrain: %w", err)
 	}
-	sp.End()
 	b.met.retrains.Inc()
 	prof := core.NewProfiler(model, b.cfg.Ontology, b.cfg.Profile)
 	b.mu.Lock()
 	b.profiler = prof
 	b.mu.Unlock()
+	b.store.SetModel(model)
+	// Snapshot failures must not undo a successful retrain; they are
+	// visible in hostprof_store_snapshot_errors_total.
+	b.store.Snapshot()
 	return nil
 }
 
 // report ingests one extension report and returns the replacement-ad
-// list for the user's current profile.
+// list for the user's current profile. Visits go straight into the
+// sharded store — concurrent reports from different users contend only
+// on the WAL, never on a backend-wide lock.
 func (b *Backend) report(userID int, now int64, hosts []string) ([]ads.Ad, error) {
 	b.met.reports.Inc()
-	b.mu.Lock()
 	for i, h := range hosts {
 		if b.cfg.Blocklist != nil && b.cfg.Blocklist.Contains(h) {
 			b.met.reportDrops.Inc()
 			continue
 		}
 		// Hosts within one report share the report timestamp; order is
-		// preserved by a strictly increasing sub-second offset encoded
-		// in visit order (trace sorting is stable).
-		b.visits.Append(trace.Visit{User: userID, Time: now, Host: hosts[i]})
+		// preserved because store sessions sort stably by time.
+		if err := b.store.Append(trace.Visit{User: userID, Time: now, Host: hosts[i]}); err != nil {
+			return nil, fmt.Errorf("server: storing report: %w", err)
+		}
 		b.met.reportHosts.Inc()
 	}
-	session := b.visits.Session(userID, now, b.cfg.SessionWindow)
+	session := b.store.Session(userID, now, b.cfg.SessionWindow)
+	b.mu.Lock()
 	prof := b.profiler
 	b.mu.Unlock()
 
@@ -294,12 +336,13 @@ type Stats struct {
 
 // CurrentStats snapshots the backend state.
 func (b *Backend) CurrentStats() Stats {
+	visits, users := b.store.Len(), len(b.store.Users())
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	cs := b.campaignStatsLocked()
 	st := Stats{
-		Visits:      b.visits.Len(),
-		Users:       len(b.visits.Users()),
+		Visits:      visits,
+		Users:       users,
 		Trained:     b.profiler != nil,
 		Impressions: cs.Impressions,
 		Clicks:      cs.Clicks,

@@ -1,0 +1,275 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"hostprof/internal/obs"
+	"hostprof/internal/trace"
+)
+
+// sortedVisits returns the store contents in canonical order for
+// equality checks.
+func sortedVisits(s *Store) []trace.Visit {
+	vs := s.copyVisits()
+	sort.Slice(vs, func(i, j int) bool {
+		if vs[i].Time != vs[j].Time {
+			return vs[i].Time < vs[j].Time
+		}
+		return vs[i].User < vs[j].User
+	})
+	return vs
+}
+
+// crash simulates SIGKILL: the store is abandoned with no Close, no
+// flush, no snapshot. Because Append writes the WAL record before
+// returning, every acknowledged visit is in the OS file and must survive
+// a process kill (fsync only matters for power loss).
+func crash(s *Store) {
+	// Intentionally nothing.
+}
+
+func TestRecoveryFromWALOnly(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir, Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []trace.Visit
+	for i := 0; i < 100; i++ {
+		v := visit(i%7, int64(i), fmt.Sprintf("host%d.example", i%13))
+		want = append(want, v)
+		if err := s.Append(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pre := sortedVisits(s)
+	crash(s)
+
+	reg := obs.NewRegistry()
+	s2 := mustOpen(t, Config{Dir: dir, Metrics: reg})
+	if got := sortedVisits(s2); !reflect.DeepEqual(got, pre) {
+		t.Fatalf("recovered %d visits != pre-crash %d", len(got), len(pre))
+	}
+	if got := s2.Recovery().ReplayedRecords; got != len(want) {
+		t.Fatalf("ReplayedRecords = %d, want %d", got, len(want))
+	}
+	if got := s2.met.recoveryRecords.Value(); got != int64(len(want)) {
+		t.Fatalf("hostprof_store_recovery_records_total = %d, want %d", got, len(want))
+	}
+}
+
+// TestRecoveryTornTail is the kill-after-partial-write test: the final
+// WAL segment is truncated mid-record and recovery must return every
+// complete record, drop the torn one, and repair the segment so a second
+// recovery sees a clean log.
+func TestRecoveryTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir, Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := s.Append(visit(i, int64(i), "torn.example")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	crash(s)
+
+	// Tear the last record: chop 3 bytes off the only segment.
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segments: %v %v", segs, err)
+	}
+	last := segs[len(segs)-1].path
+	fi, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(last, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, Config{Dir: dir})
+	rec := s2.Recovery()
+	if rec.ReplayedRecords != n-1 {
+		t.Fatalf("ReplayedRecords = %d, want %d", rec.ReplayedRecords, n-1)
+	}
+	if !rec.TornTail {
+		t.Fatal("TornTail not reported")
+	}
+	if got := s2.Len(); got != n-1 {
+		t.Fatalf("Len = %d, want %d", got, n-1)
+	}
+	// The torn suffix must have been truncated away on disk.
+	fi2, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi2.Size() >= fi.Size()-3 {
+		t.Fatalf("torn tail not repaired: %d >= %d", fi2.Size(), fi.Size()-3)
+	}
+	// A third open (after the repairing one crashed too) replays cleanly
+	// with no torn tail.
+	crash(s2)
+	s3 := mustOpen(t, Config{Dir: dir})
+	if s3.Recovery().TornTail {
+		t.Fatal("repaired segment still reports a torn tail")
+	}
+	if got := s3.Recovery().ReplayedRecords; got != n-1 {
+		t.Fatalf("second recovery ReplayedRecords = %d, want %d", got, n-1)
+	}
+}
+
+// TestRecoverySnapshotPlusWALTail: crash after a snapshot and further
+// appends must restore snapshot + tail exactly.
+func TestRecoverySnapshotPlusWALTail(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir, Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		s.Append(visit(i, int64(i), "pre.example"))
+	}
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 30; i < 45; i++ {
+		s.Append(visit(i, int64(i), "post.example"))
+	}
+	pre := sortedVisits(s)
+	crash(s)
+
+	s2 := mustOpen(t, Config{Dir: dir})
+	if got := sortedVisits(s2); !reflect.DeepEqual(got, pre) {
+		t.Fatalf("recovered store diverges: %d vs %d visits", len(got), len(pre))
+	}
+	rec := s2.Recovery()
+	if rec.SnapshotVisits != 30 || rec.ReplayedRecords != 15 {
+		t.Fatalf("recovery stats = %+v, want 30 snapshot + 15 replayed", rec)
+	}
+}
+
+// TestRecoverySkipsCoveredSegments: a crash between snapshot publish and
+// segment cleanup leaves WAL segments the snapshot already covers; they
+// must be skipped, never double-applied.
+func TestRecoverySkipsCoveredSegments(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir, Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		s.Append(visit(i, int64(i), "dup.example"))
+	}
+	pre := sortedVisits(s)
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	crash(s)
+
+	// Resurrect a covered segment, as if cleanup never ran: write the
+	// same 10 visits into a segment numbered below the snapshot cut.
+	var buf []byte
+	for i := 0; i < 10; i++ {
+		buf, err = appendRecord(buf, visit(i, int64(i), "dup.example"))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(walPath(dir, 1), buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, Config{Dir: dir})
+	if got := sortedVisits(s2); !reflect.DeepEqual(got, pre) {
+		t.Fatalf("covered segment double-applied: %d visits, want %d", len(got), len(pre))
+	}
+	if s2.Recovery().ReplayedRecords != 0 {
+		t.Fatalf("ReplayedRecords = %d, want 0", s2.Recovery().ReplayedRecords)
+	}
+}
+
+// TestRecoveryFallsBackToOlderSnapshot: an unreadable newest snapshot
+// must not lose the store — recovery falls back to the previous one and
+// the WAL segments after *its* cut.
+func TestRecoveryFallsBackToOlderSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir, Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		s.Append(visit(i, int64(i), "old.example"))
+	}
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	crash(s)
+	// Forge a newer, corrupt snapshot.
+	if err := os.WriteFile(snapPath(dir, 99), []byte("not a gob"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Keep a WAL segment alive after the good snapshot's cut.
+	buf, _ := appendRecord(nil, visit(9, 9, "tail.example"))
+	segs, _ := listSegments(dir)
+	var next uint64 = 1
+	if len(segs) > 0 {
+		next = segs[len(segs)-1].seq + 1
+	}
+	if err := os.WriteFile(walPath(dir, next), buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, Config{Dir: dir})
+	if got := s2.Len(); got != 6 {
+		t.Fatalf("Len = %d, want 5 snapshot + 1 tail", got)
+	}
+}
+
+func TestCorruptMiddleSegmentFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir, Fsync: FsyncNever, SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		s.Append(visit(i, int64(i), "corrupt.example"))
+	}
+	crash(s)
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) < 3 {
+		t.Fatalf("want >=3 segments, got %d (%v)", len(segs), err)
+	}
+	// Flip a payload byte in a middle segment: real corruption, not a
+	// crash artefact — refuse to open rather than silently drop data.
+	mid := segs[1].path
+	data, err := os.ReadFile(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(mid, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Config{Dir: dir}); err == nil {
+		t.Fatal("Open succeeded over corrupt middle segment")
+	}
+}
+
+func TestOpenOnMissingDirCreatesIt(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "data")
+	s := mustOpen(t, Config{Dir: dir})
+	if err := s.Append(visit(1, 1, "mk.example")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,462 @@
+// Package store is the profiling pipeline's storage engine: a
+// user-sharded in-memory visit store with optional durability through a
+// write-ahead log and periodic snapshots.
+//
+// Scale: the paper's eavesdropper accumulates months of browsing (600M
+// connections over six months in Section 3; a live back-end fed by 1329
+// users for a month in Section 5), so the visit store is both the
+// hottest write path in the system and the one component whose loss
+// destroys the observer's accumulated advantage. The design splits the
+// two concerns:
+//
+//   - Concurrency — visits are partitioned into power-of-two shards by
+//     user, each behind its own mutex, so concurrent ingestion from
+//     many capture threads scales instead of serializing on one lock.
+//     Session reads touch exactly one shard.
+//   - Durability — when a directory is configured, every append is
+//     framed (length + CRC-32C) into an append-only segmented WAL, and
+//     snapshots (visits + trained model) are written atomically via
+//     temp-file + rename. Recovery loads the newest valid snapshot and
+//     replays the WAL tail, tolerating a torn final record.
+//
+// A Store with no directory is a purely in-memory sharded store with
+// identical semantics and zero I/O.
+package store
+
+import (
+	"fmt"
+	"math/bits"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"hostprof/internal/core"
+	"hostprof/internal/obs"
+	"hostprof/internal/trace"
+)
+
+// FsyncPolicy selects when WAL writes are forced to stable storage.
+type FsyncPolicy uint8
+
+const (
+	// FsyncInterval (the default) fsyncs from a background ticker every
+	// Config.FsyncEvery: bounded data loss on power failure, near-zero
+	// per-append cost.
+	FsyncInterval FsyncPolicy = iota
+	// FsyncAlways fsyncs after every append: zero-loss, slowest.
+	FsyncAlways
+	// FsyncNever leaves flushing to the OS page cache: complete records
+	// still survive process crashes, but not power loss.
+	FsyncNever
+)
+
+// String returns the flag spelling of the policy.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncNever:
+		return "never"
+	default:
+		return "interval"
+	}
+}
+
+// ParseFsync parses a flag spelling ("always", "interval", "never").
+func ParseFsync(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval", "":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return 0, fmt.Errorf("store: unknown fsync policy %q (want always, interval or never)", s)
+}
+
+// Config assembles a Store.
+type Config struct {
+	// Dir enables durability: WAL segments and snapshots live here.
+	// Empty selects a purely in-memory store.
+	Dir string
+	// Shards is the shard count, rounded up to a power of two.
+	// Default 16.
+	Shards int
+	// Fsync is the WAL flush policy. Default FsyncInterval.
+	Fsync FsyncPolicy
+	// FsyncEvery is the background flush cadence under FsyncInterval.
+	// Default 100ms.
+	FsyncEvery time.Duration
+	// SegmentBytes rotates WAL segments past this size. Default 64 MiB.
+	SegmentBytes int64
+	// SnapshotEvery, when positive, snapshots on a background ticker in
+	// addition to explicit Snapshot calls.
+	SnapshotEvery time.Duration
+	// Metrics, when non-nil, is the registry the store exports into
+	// (hostprof_store_* names; see internal/obs).
+	Metrics *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	if c.Shards&(c.Shards-1) != 0 {
+		c.Shards = 1 << bits.Len(uint(c.Shards))
+	}
+	if c.FsyncEvery <= 0 {
+		c.FsyncEvery = 100 * time.Millisecond
+	}
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = 64 << 20
+	}
+	return c
+}
+
+// shard is one visit partition. The padding keeps independently locked
+// shards on separate cache lines.
+type shard struct {
+	mu     sync.Mutex
+	visits []trace.Visit
+	_      [24]byte
+}
+
+// RecoveryStats reports what startup recovery found.
+type RecoveryStats struct {
+	// SnapshotVisits is the visit count loaded from the snapshot.
+	SnapshotVisits int
+	// ReplayedRecords is the count of complete WAL records replayed.
+	ReplayedRecords int
+	// TornTail reports whether the newest segment ended in a torn
+	// record (the expected artefact of a crash mid-append).
+	TornTail bool
+	// ModelRestored reports whether the snapshot carried a trained
+	// model.
+	ModelRestored bool
+}
+
+// Store is the sharded visit store. All methods are safe for concurrent
+// use.
+type Store struct {
+	cfg Config
+	met storeMetrics
+
+	// gate serializes snapshot cuts against appends: Append holds it
+	// shared (appenders never block each other here), Snapshot holds it
+	// exclusively while copying visits and cutting the WAL, so the
+	// snapshot plus the post-cut segments always equal the store
+	// exactly — no lost and no duplicated visit.
+	gate   sync.RWMutex
+	shards []shard
+	mask   uint64
+
+	wal *walWriter // nil when in-memory
+
+	modelMu sync.Mutex
+	model   *core.Model
+
+	snapMu sync.Mutex // serializes Snapshot calls
+	rec    RecoveryStats
+
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Open builds a store, recovering durable state from cfg.Dir when set:
+// the newest valid snapshot is loaded, then every WAL segment after its
+// cut point is replayed in order. A torn final record — the signature of
+// a crash mid-append — is truncated away and reported in RecoveryStats;
+// corruption anywhere else fails the open.
+func Open(cfg Config) (*Store, error) {
+	cfg = cfg.withDefaults()
+	s := &Store{
+		cfg:    cfg,
+		shards: make([]shard, cfg.Shards),
+		mask:   uint64(cfg.Shards - 1),
+		stop:   make(chan struct{}),
+	}
+	s.met = newStoreMetrics(cfg.Metrics, s)
+	if cfg.Dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating data dir: %w", err)
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	if cfg.Fsync == FsyncInterval {
+		s.wg.Add(1)
+		go s.fsyncLoop()
+	}
+	if cfg.SnapshotEvery > 0 {
+		s.wg.Add(1)
+		go s.snapshotLoop()
+	}
+	return s, nil
+}
+
+// recover loads the newest snapshot, replays the WAL tail and opens a
+// fresh segment for new appends.
+func (s *Store) recover() error {
+	wire, model, haveSnap, err := newestSnapshot(s.cfg.Dir)
+	if err != nil {
+		return err
+	}
+	var snapSeq uint64
+	if haveSnap {
+		snapSeq = wire.Seq
+		for _, v := range wire.Visits {
+			s.applyVisit(v)
+		}
+		s.model = model
+		s.rec.SnapshotVisits = len(wire.Visits)
+		s.rec.ModelRestored = model != nil
+	}
+	segs, err := listSegments(s.cfg.Dir)
+	if err != nil {
+		return err
+	}
+	maxSeq := snapSeq
+	for i, seg := range segs {
+		if seg.seq > maxSeq {
+			maxSeq = seg.seq
+		}
+		if seg.seq <= snapSeq {
+			// Covered by the snapshot; left over from a crash between
+			// snapshot publish and segment removal.
+			continue
+		}
+		n, torn, err := replaySegment(seg.path, i == len(segs)-1, s.applyVisit)
+		if err != nil {
+			return err
+		}
+		s.rec.ReplayedRecords += n
+		if torn {
+			s.rec.TornTail = true
+			s.met.recoveryTorn.Inc()
+		}
+	}
+	s.met.recoveryRecords.Add(int64(s.rec.ReplayedRecords))
+	s.wal, err = openWAL(s.cfg.Dir, maxSeq+1, s.cfg.Fsync, s.cfg.SegmentBytes, &s.met)
+	return err
+}
+
+// applyVisit inserts v without WAL traffic (recovery path).
+func (s *Store) applyVisit(v trace.Visit) {
+	sh := &s.shards[s.shardOf(v.User)]
+	sh.visits = append(sh.visits, v)
+}
+
+func (s *Store) shardOf(user int) uint64 {
+	h := uint64(user) * 0x9e3779b97f4a7c15
+	h ^= h >> 29
+	return h & s.mask
+}
+
+// Recovery returns what startup recovery found (zero for in-memory or
+// first-boot stores).
+func (s *Store) Recovery() RecoveryStats { return s.rec }
+
+// Append records one visit: WAL first (when durable), then the user's
+// shard. Appends from different users contend only on the WAL's internal
+// lock, never on a store-wide mutex.
+func (s *Store) Append(v trace.Visit) error {
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	if s.wal != nil {
+		if err := s.wal.Append(v); err != nil {
+			s.met.appendErrors.Inc()
+			return err
+		}
+	}
+	sh := &s.shards[s.shardOf(v.User)]
+	sh.mu.Lock()
+	sh.visits = append(sh.visits, v)
+	sh.mu.Unlock()
+	s.met.appends.Inc()
+	return nil
+}
+
+// Len returns the number of stored visits.
+func (s *Store) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += len(sh.visits)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Users returns the sorted distinct user IDs in the store.
+func (s *Store) Users() []int {
+	set := make(map[int]bool)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, v := range sh.visits {
+			set[v.User] = true
+		}
+		sh.mu.Unlock()
+	}
+	out := make([]int, 0, len(set))
+	for u := range set {
+		out = append(out, u)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// copyVisits merges every shard into one fresh slice. Callers that need
+// a cut consistent with the WAL must hold the gate exclusively.
+func (s *Store) copyVisits() []trace.Visit {
+	out := make([]trace.Visit, 0, s.Len())
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		out = append(out, sh.visits...)
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// SnapshotTrace returns a point-in-time copy of the store as a sorted
+// trace. The result shares nothing with the store, so callers may window
+// and iterate it freely while ingestion continues.
+func (s *Store) SnapshotTrace() *trace.Trace {
+	return trace.New(s.copyVisits())
+}
+
+// Session returns the hostnames user requested in (end-window, end], in
+// time order — the paper's s_u^T — touching only the user's shard.
+func (s *Store) Session(user int, end, window int64) []string {
+	sh := &s.shards[s.shardOf(user)]
+	sh.mu.Lock()
+	var sel []trace.Visit
+	for _, v := range sh.visits {
+		if v.User == user && v.Time > end-window && v.Time <= end {
+			sel = append(sel, v)
+		}
+	}
+	sh.mu.Unlock()
+	sort.SliceStable(sel, func(i, j int) bool { return sel[i].Time < sel[j].Time })
+	hosts := make([]string, len(sel))
+	for i, v := range sel {
+		hosts[i] = v.Host
+	}
+	return hosts
+}
+
+// AllSequences returns one hostname sequence per (user, day) pair — the
+// full-history training corpus.
+func (s *Store) AllSequences() [][]string {
+	return s.SnapshotTrace().AllSequences()
+}
+
+// DailySequences returns day d's per-user training sequences.
+func (s *Store) DailySequences(d int) [][]string {
+	return s.SnapshotTrace().DailySequences(d)
+}
+
+// Model returns the store's current trained model, or nil. After a
+// durable restart this is the model restored from the newest snapshot —
+// a warm start that skips the first retrain.
+func (s *Store) Model() *core.Model {
+	s.modelMu.Lock()
+	defer s.modelMu.Unlock()
+	return s.model
+}
+
+// SetModel installs a freshly trained model; it is persisted by the next
+// Snapshot.
+func (s *Store) SetModel(m *core.Model) {
+	s.modelMu.Lock()
+	s.model = m
+	s.modelMu.Unlock()
+}
+
+// Flush forces buffered WAL writes to stable storage.
+func (s *Store) Flush() error {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.Sync()
+}
+
+// Snapshot writes a durable snapshot of the current visits and model,
+// then retires the WAL segments it covers. Appends are blocked only for
+// the in-memory copy and WAL cut, not for the disk write. No-op for
+// in-memory stores.
+func (s *Store) Snapshot() error {
+	if s.wal == nil {
+		return nil
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	sp := obs.StartSpan(s.met.snapshotSeconds)
+	s.gate.Lock()
+	visits := s.copyVisits()
+	cut, err := s.wal.Cut()
+	s.gate.Unlock()
+	if err != nil {
+		s.met.snapshotErrors.Inc()
+		return err
+	}
+	if err := writeSnapshot(s.cfg.Dir, cut, visits, s.Model()); err != nil {
+		s.met.snapshotErrors.Inc()
+		return err
+	}
+	removeObsolete(s.cfg.Dir, cut, cut)
+	sp.End()
+	s.met.snapshots.Inc()
+	return nil
+}
+
+// Close stops background work, flushes the WAL and closes it. Close does
+// not snapshot — the WAL already holds every record — but callers that
+// want the fastest possible next recovery (e.g. graceful server
+// shutdown) should call Snapshot first.
+func (s *Store) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.stop)
+		s.wg.Wait()
+		if s.wal != nil {
+			s.closeErr = s.wal.Close()
+		}
+	})
+	return s.closeErr
+}
+
+func (s *Store) fsyncLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.FsyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.wal.Sync()
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+func (s *Store) snapshotLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.SnapshotEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.Snapshot()
+		case <-s.stop:
+			return
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hostprof/internal/obs"
+	"hostprof/internal/trace"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	for _, v := range []trace.Visit{
+		{User: 0, Time: 0, Host: ""},
+		{User: 1, Time: 42, Host: "a.example"},
+		{User: -7, Time: -1, Host: "negative.example"},
+		{User: 1 << 30, Time: 1 << 40, Host: string(bytes.Repeat([]byte("x"), 300))},
+	} {
+		buf, err := appendRecord(nil, v)
+		if err != nil {
+			t.Fatalf("appendRecord(%+v): %v", v, err)
+		}
+		got, n, err := decodeRecord(buf)
+		if err != nil {
+			t.Fatalf("decodeRecord(%+v): %v", v, err)
+		}
+		if n != len(buf) || got != v {
+			t.Fatalf("round trip: got %+v (%d bytes), want %+v (%d)", got, n, v, len(buf))
+		}
+	}
+}
+
+func TestRecordRejectsOversizedHost(t *testing.T) {
+	v := trace.Visit{Host: string(bytes.Repeat([]byte("h"), maxRecordPayload))}
+	if _, err := appendRecord(nil, v); err == nil {
+		t.Fatal("oversized host accepted")
+	}
+}
+
+func TestDecodeRecordErrors(t *testing.T) {
+	good, _ := appendRecord(nil, trace.Visit{User: 3, Time: 9, Host: "ok.example"})
+
+	for name, c := range map[string]struct {
+		mutate func([]byte) []byte
+		want   error
+	}{
+		"empty":          {func(b []byte) []byte { return nil }, ErrTornRecord},
+		"short header":   {func(b []byte) []byte { return b[:5] }, ErrTornRecord},
+		"torn payload":   {func(b []byte) []byte { return b[:len(b)-3] }, ErrTornRecord},
+		"zero tail":      {func(b []byte) []byte { return make([]byte, 32) }, ErrTornRecord},
+		"crc flip":       {func(b []byte) []byte { b[len(b)-1] ^= 0xff; return b }, ErrCorruptRecord},
+		"header flip":    {func(b []byte) []byte { b[5] ^= 0xff; return b }, ErrCorruptRecord},
+		"length too big": {func(b []byte) []byte { b[2] = 0xff; return b }, ErrCorruptRecord},
+	} {
+		b := c.mutate(append([]byte(nil), good...))
+		if _, _, err := decodeRecord(b); !errors.Is(err, c.want) {
+			t.Errorf("%s: err = %v, want %v", name, err, c.want)
+		}
+	}
+}
+
+// TestDecodeRecordTrailingGarbageInPayload: a payload longer than its
+// varints describe must be rejected — otherwise corruption could smuggle
+// bytes past the CRC boundary check.
+func TestDecodeRecordTrailingGarbage(t *testing.T) {
+	b, _ := appendRecord(nil, trace.Visit{User: 1, Time: 1, Host: "h"})
+	// Extend payload by one byte and refresh length+CRC so only the
+	// internal structure check can catch it.
+	payload := append(append([]byte(nil), b[recordHeader:]...), 0xAA)
+	full := make([]byte, recordHeader+len(payload))
+	copy(full[recordHeader:], payload)
+	putFrame(full, payload)
+	if _, _, err := decodeRecord(full); !errors.Is(err, ErrCorruptRecord) {
+		t.Fatalf("trailing garbage: err = %v, want ErrCorruptRecord", err)
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Config{Dir: dir, SegmentBytes: 64, Fsync: FsyncNever, Metrics: obs.NewRegistry()})
+	for i := 0; i < 20; i++ {
+		if err := s.Append(visit(i, int64(i), "rotate.example")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("got %d segments, want rotation to produce several", len(segs))
+	}
+	if s.met.rotations.Value() == 0 {
+		t.Fatal("segment_rotations_total = 0")
+	}
+	// All records must survive a reopen across segment boundaries.
+	s.Close()
+	s2 := mustOpen(t, Config{Dir: dir})
+	if got := s2.Len(); got != 20 {
+		t.Fatalf("reopened Len = %d, want 20", got)
+	}
+	if got := s2.Recovery().ReplayedRecords; got != 20 {
+		t.Fatalf("ReplayedRecords = %d, want 20", got)
+	}
+}
+
+func TestListSegmentsIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"wal-x.log", "snap-1.gob.tmp", "notes.txt", "wal-0000000000000003.log"} {
+		if err := os.WriteFile(filepath.Join(dir, name), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 || segs[0].seq != 3 {
+		t.Fatalf("segments = %+v", segs)
+	}
+}
+
+// putFrame rewrites the length+CRC header for payload into b.
+func putFrame(b, payload []byte) {
+	binary.LittleEndian.PutUint32(b, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(b[4:], crc32.Checksum(payload, crcTable))
+}

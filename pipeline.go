@@ -7,7 +7,7 @@ import (
 	"hostprof/internal/core"
 	"hostprof/internal/obs"
 	"hostprof/internal/sniffer"
-	"hostprof/internal/trace"
+	"hostprof/internal/store"
 )
 
 // PipelineConfig assembles a complete network-observer pipeline.
@@ -33,20 +33,30 @@ type PipelineConfig struct {
 	// private registry, retrievable via Pipeline.Metrics, so the
 	// pipeline is always instrumented.
 	Metrics *obs.Registry
+	// Store, when non-nil, is the visit store the pipeline ingests
+	// into — open a durable one with OpenStore to survive restarts.
+	// Nil creates a private in-memory sharded store.
+	Store *store.Store
 }
 
 // Pipeline is the end-to-end eavesdropper: packets in, profiles and ads
-// out. It is safe for use from a single goroutine; packet ingestion and
-// (re)training may run concurrently only through the exported methods,
-// which serialize on an internal lock.
+// out. All exported methods are safe for concurrent use: visits land in
+// a sharded store (per-shard locks), packet decoding serializes only on
+// the observer's flow state, and model swaps take a separate lock.
 type Pipeline struct {
 	cfg PipelineConfig
 	reg *obs.Registry
 	met pipelineMetrics
 
-	mu       sync.Mutex
+	store *store.Store
+
+	// obsMu serializes packet decoding, which mutates the observer's
+	// flow-reassembly state. It is intentionally separate from mu so
+	// profiling and retraining never stall packet capture.
+	obsMu    sync.Mutex
 	observer *Observer
-	visits   *Trace
+
+	mu       sync.Mutex
 	model    *Model
 	profiler *Profiler
 }
@@ -56,6 +66,7 @@ type pipelineMetrics struct {
 	frames         *obs.Counter
 	visits         *obs.Counter
 	blocked        *obs.Counter
+	storeErrors    *obs.Counter
 	retrains       *obs.Counter
 	retrainErrors  *obs.Counter
 	retrainSeconds *obs.Histogram
@@ -78,6 +89,7 @@ func newPipelineMetrics(reg *obs.Registry) pipelineMetrics {
 		frames:         reg.Counter("hostprof_ingest_frames_total"),
 		visits:         reg.Counter("hostprof_ingest_visits_total"),
 		blocked:        reg.Counter("hostprof_ingest_blocklist_drops_total"),
+		storeErrors:    reg.Counter("hostprof_ingest_store_errors_total"),
 		retrains:       reg.Counter("hostprof_retrain_total"),
 		retrainErrors:  reg.Counter("hostprof_retrain_errors_total"),
 		retrainSeconds: reg.Histogram("hostprof_retrain_seconds", retrainBuckets),
@@ -104,13 +116,28 @@ func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
 	if cfg.Observer.Metrics == nil {
 		cfg.Observer.Metrics = reg
 	}
-	return &Pipeline{
+	st := cfg.Store
+	if st == nil {
+		var err error
+		st, err = store.Open(store.Config{Metrics: reg})
+		if err != nil {
+			return nil, fmt.Errorf("hostprof: opening visit store: %w", err)
+		}
+	}
+	p := &Pipeline{
 		cfg:      cfg,
 		reg:      reg,
 		met:      newPipelineMetrics(reg),
 		observer: sniffer.NewObserver(cfg.Observer),
-		visits:   trace.New(nil),
-	}, nil
+		store:    st,
+	}
+	// A durable store restored from snapshot carries the trained model:
+	// start warm instead of waiting for the first retrain.
+	if m := st.Model(); m != nil {
+		p.model = m
+		p.profiler = core.NewProfiler(m, cfg.Ontology, cfg.Profile)
+	}
+	return p, nil
 }
 
 // Metrics returns the registry the pipeline exports into — the
@@ -119,45 +146,52 @@ func (p *Pipeline) Metrics() *obs.Registry { return p.reg }
 
 // Ingest feeds one captured Ethernet frame taken at ts (seconds) to the
 // observer; any extracted visit is recorded (unless blocklisted).
-// It reports whether a hostname was extracted.
+// It reports whether a hostname was extracted and stored. Only packet
+// decoding holds the observer lock; the visit lands in the sharded
+// store, so ingestion never contends with profiling or retraining.
 func (p *Pipeline) Ingest(frame []byte, ts int64) bool {
 	p.met.frames.Inc()
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.obsMu.Lock()
 	v, ok := p.observer.ProcessPacket(frame, ts)
+	p.obsMu.Unlock()
 	if !ok {
 		return false
 	}
-	if p.cfg.Blocklist != nil && p.cfg.Blocklist.Contains(v.Host) {
-		p.met.blocked.Inc()
-		return false
-	}
-	p.visits.Append(v)
-	p.met.visits.Inc()
-	return true
+	return p.record(v)
 }
 
 // IngestVisit records an already-extracted visit (e.g. replayed from a
-// stored trace), subject to blocklist filtering.
+// stored trace), subject to blocklist filtering. It takes no pipeline-
+// wide lock: concurrent callers contend only on the visit's shard.
 func (p *Pipeline) IngestVisit(v Visit) bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	return p.record(v)
+}
+
+// record filters and stores one visit.
+func (p *Pipeline) record(v Visit) bool {
 	if p.cfg.Blocklist != nil && p.cfg.Blocklist.Contains(v.Host) {
 		p.met.blocked.Inc()
 		return false
 	}
-	p.visits.Append(v)
+	if err := p.store.Append(v); err != nil {
+		p.met.storeErrors.Inc()
+		return false
+	}
 	p.met.visits.Inc()
 	return true
 }
 
-// Trace returns the accumulated visit trace. The returned value is the
-// live trace; callers must not mutate it concurrently with Ingest.
+// Trace returns a point-in-time copy of the accumulated visit trace.
+// The copy shares nothing with the store, so callers may window and
+// mutate it freely while ingestion continues.
 func (p *Pipeline) Trace() *Trace {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.visits
+	return p.store.SnapshotTrace()
 }
+
+// Store returns the pipeline's visit store — the configured one, or the
+// private in-memory store created when none was given. Use it for
+// durability operations (Flush, Snapshot, Close) and recovery stats.
+func (p *Pipeline) Store() *store.Store { return p.store }
 
 // trainConfig returns the configured TrainConfig with the pipeline's
 // epoch instrumentation chained in front of any caller-supplied
@@ -177,18 +211,21 @@ func (p *Pipeline) trainConfig() core.TrainConfig {
 }
 
 // retrain fits a model on corpus and swaps it in, recording retrain
-// duration and outcome.
+// duration and outcome. The duration histogram observes failed retrains
+// too — a retrain that dies after an hour must show up in
+// hostprof_retrain_seconds, not vanish.
 func (p *Pipeline) retrain(corpus [][]string, label string) error {
 	sp := obs.StartSpan(p.met.retrainSeconds)
 	model, err := core.Train(corpus, p.trainConfig())
+	sp.End()
 	if err != nil {
 		p.met.retrainErrors.Inc()
 		return fmt.Errorf("hostprof: %s: %w", label, err)
 	}
-	sp.End()
 	p.met.retrains.Inc()
 	profiler := core.NewProfiler(model, p.cfg.Ontology, p.cfg.Profile)
 
+	p.store.SetModel(model)
 	p.mu.Lock()
 	p.model = model
 	p.profiler = profiler
@@ -200,19 +237,13 @@ func (p *Pipeline) retrain(corpus [][]string, label string) error {
 // so far and swaps it in, mirroring the paper's daily retraining
 // (Section 5.4).
 func (p *Pipeline) Retrain() error {
-	p.mu.Lock()
-	corpus := p.visits.AllSequences()
-	p.mu.Unlock()
-	return p.retrain(corpus, "retraining")
+	return p.retrain(p.store.AllSequences(), "retraining")
 }
 
 // RetrainOnDay fits the embedding on a single day's sequences (the
 // paper's "previous whole day") instead of the full history.
 func (p *Pipeline) RetrainOnDay(day int) error {
-	p.mu.Lock()
-	corpus := p.visits.DailySequences(day)
-	p.mu.Unlock()
-	return p.retrain(corpus, fmt.Sprintf("retraining on day %d", day))
+	return p.retrain(p.store.DailySequences(day), fmt.Sprintf("retraining on day %d", day))
 }
 
 // ErrNotTrained is returned by profiling before the first Retrain.
@@ -254,8 +285,8 @@ func (p *Pipeline) profile(profiler *Profiler, hosts []string) (Vector, error) {
 func (p *Pipeline) ProfileUser(user int, now int64) (Vector, error) {
 	p.mu.Lock()
 	profiler := p.profiler
-	session := p.visits.Session(user, now, p.cfg.SessionWindow)
 	p.mu.Unlock()
+	session := p.store.Session(user, now, p.cfg.SessionWindow)
 	return p.profile(profiler, session)
 }
 
