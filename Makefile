@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet bench bench-json fuzz ci experiments experiments-small examples clean
+.PHONY: all build test vet race chaos bench bench-json fuzz ci experiments experiments-small examples clean
 
 all: vet test build
 
@@ -15,6 +15,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Fault-injection and crash-recovery tests (see internal/fault) under
+# the race detector: SIGKILL recovery, WAL degradation, retrain
+# coordination.
+chaos:
+	$(GO) test -race -run 'Chaos|Degraded|Retrain|Shed|Panic|Fault' ./...
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime 1x .
@@ -34,7 +40,7 @@ ci:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/...
+	$(GO) test -race ./...
 	$(GO) test ./internal/store -run '^$$' -fuzz '^FuzzWALRecord$$' -fuzztime 10s
 
 experiments:

@@ -37,6 +37,10 @@ func cmdServe(args []string) error {
 	dataDir := fs.String("data-dir", "", "durable store directory (WAL + snapshots); empty keeps visits in memory only")
 	fsync := fs.String("fsync", "interval", "WAL fsync policy: always, interval or never")
 	snapEvery := fs.Duration("snapshot-interval", 10*time.Minute, "periodic snapshot cadence with -data-dir (0 disables the timer)")
+	retrainTimeout := fs.Duration("retrain-timeout", 0, "abort a retrain past this deadline (0 = unbounded)")
+	maxInflight := fs.Int("max-inflight-reports", 1024, "concurrent /v1/report requests before shedding with 429 (0 = unlimited)")
+	maxHosts := fs.Int("max-hosts-per-report", 1024, "hostnames accepted per report before rejecting with 400")
+	httpTimeout := fs.Duration("http-timeout", time.Minute, "HTTP read/write timeout (idle timeout is 4x this)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -84,6 +88,10 @@ func cmdServe(args []string) error {
 		DataDir:       *dataDir,
 		Fsync:         fsyncPolicy,
 		SnapshotEvery: *snapEvery,
+
+		RetrainTimeout:     *retrainTimeout,
+		MaxInflightReports: *maxInflight,
+		MaxHostsPerReport:  *maxHosts,
 	})
 	if err != nil {
 		return err
@@ -115,7 +123,7 @@ func cmdServe(args []string) error {
 
 	fmt.Printf("backend: %d labelled hosts, %d ads; listening on http://%s\n",
 		ont.Len(), db.Len(), *addr)
-	fmt.Println("endpoints: POST /v1/report /v1/feedback /v1/retrain; GET /v1/stats /metrics /varz /healthz")
+	fmt.Println("endpoints: POST /v1/report /v1/feedback /v1/retrain[?async=1]; GET /v1/stats /metrics /varz /healthz")
 	if *withPprof {
 		fmt.Println("profiling: GET /debug/pprof/")
 	}
@@ -125,7 +133,16 @@ func cmdServe(args []string) error {
 	// start recovers instantly instead of replaying the whole log.
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
-	srv := &http.Server{Addr: *addr, Handler: handler}
+	// Slow-client protection: a stalled reader or writer cannot pin a
+	// connection (and, on /v1/report, an admission slot) forever.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadTimeout:       *httpTimeout,
+		ReadHeaderTimeout: *httpTimeout,
+		WriteTimeout:      *httpTimeout,
+		IdleTimeout:       4 * *httpTimeout,
+	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.ListenAndServe() }()
 	select {

@@ -26,6 +26,7 @@
 package hostprof
 
 import (
+	"context"
 	"io"
 
 	"hostprof/internal/ads"
@@ -148,6 +149,13 @@ var (
 // per user per interval) by skip-gram with negative sampling.
 func Train(corpus [][]string, cfg TrainConfig) (*Model, error) {
 	return core.Train(corpus, cfg)
+}
+
+// TrainContext is Train with cancellation: cancel ctx (or let its
+// deadline expire) and training stops at the next epoch boundary,
+// returning the context's error instead of a partial model.
+func TrainContext(ctx context.Context, corpus [][]string, cfg TrainConfig) (*Model, error) {
+	return core.TrainContext(ctx, corpus, cfg)
 }
 
 // LoadModel reads a model serialized with Model.Save.

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"hostprof/internal/fault"
+	"hostprof/internal/stats"
+)
+
+func TestTrainContextCancelledBeforeStart(t *testing.T) {
+	rng := stats.NewRNG(17)
+	corpus, _, _ := topicCorpus(rng, 8, 100, 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	m, err := TrainContext(ctx, corpus, smallConfig())
+	if m != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("TrainContext = (%v, %v), want context.Canceled", m, err)
+	}
+	// "Promptly" means well under one epoch of the full run.
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("cancelled training took %v", d)
+	}
+}
+
+func TestTrainContextCancelMidTraining(t *testing.T) {
+	rng := stats.NewRNG(19)
+	corpus, _, _ := topicCorpus(rng, 10, 400, 12)
+	cfg := smallConfig()
+	cfg.Epochs = 50
+	ctx, cancel := context.WithCancel(context.Background())
+	epochs := 0
+	cfg.Progress = func(e EpochStats) {
+		epochs++
+		if e.Epoch == 1 {
+			cancel() // abort during the run, not before
+		}
+	}
+	m, err := TrainContext(ctx, corpus, cfg)
+	if m != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("TrainContext = (%v, %v), want context.Canceled", m, err)
+	}
+	if epochs >= cfg.Epochs {
+		t.Fatalf("training ran all %d epochs despite cancellation", epochs)
+	}
+}
+
+func TestTrainContextDeadline(t *testing.T) {
+	rng := stats.NewRNG(23)
+	corpus, _, _ := topicCorpus(rng, 10, 400, 12)
+	cfg := smallConfig()
+	cfg.Epochs = 1000
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	m, err := TrainContext(ctx, corpus, cfg)
+	if m != nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("TrainContext = (%v, %v), want context.DeadlineExceeded", m, err)
+	}
+}
+
+func TestTrainEpochFaultInjection(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	rng := stats.NewRNG(29)
+	corpus, _, _ := topicCorpus(rng, 8, 100, 10)
+	boom := errors.New("injected epoch fault")
+	fault.Set(fault.TrainEpoch, fault.Error(boom))
+	m, err := Train(corpus, smallConfig())
+	if m != nil || !errors.Is(err, boom) {
+		t.Fatalf("Train = (%v, %v), want injected fault", m, err)
+	}
+	fault.Reset()
+	if _, err := Train(corpus, smallConfig()); err != nil {
+		t.Fatalf("Train after fault cleared: %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -10,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hostprof/internal/fault"
 	"hostprof/internal/stats"
 )
 
@@ -132,6 +134,16 @@ const lossEps = 1e-12
 // (one sequence per user per collection interval) by minimizing the
 // negative-sampling objective of Equation (2) with SGD.
 func Train(corpus [][]string, cfg TrainConfig) (*Model, error) {
+	return TrainContext(context.Background(), corpus, cfg)
+}
+
+// TrainContext is Train with cooperative cancellation: ctx is checked
+// at every epoch boundary and, within an epoch, by every worker before
+// each sequence, so a production-sized retrain stops well under one
+// epoch after cancellation. On cancellation the partially trained model
+// is discarded and ctx.Err() is returned (wrapped; test with
+// errors.Is).
+func TrainContext(ctx context.Context, corpus [][]string, cfg TrainConfig) (*Model, error) {
 	cfg = cfg.withDefaults()
 	vocab := BuildVocab(corpus, cfg.MinCount)
 	if vocab.Len() == 0 {
@@ -215,7 +227,14 @@ func Train(corpus [][]string, cfg TrainConfig) (*Model, error) {
 	// Epochs are barriered: all workers finish epoch e before any starts
 	// e+1, so Progress observes a quiesced model. Per worker, the
 	// sequence order and RNG consumption match the pre-barrier scheme.
+	cancelled := ctx.Done()
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: training cancelled before epoch %d: %w", epoch, err)
+		}
+		if err := fault.Inject(fault.TrainEpoch); err != nil {
+			return nil, fmt.Errorf("core: epoch %d: %w", epoch, err)
+		}
 		start := time.Now()
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
@@ -223,6 +242,11 @@ func Train(corpus [][]string, cfg TrainConfig) (*Model, error) {
 			go func(tr *trainer, w int) {
 				defer wg.Done()
 				for s := w; s < len(encoded); s += workers {
+					select {
+					case <-cancelled:
+						return
+					default:
+					}
 					seq := encoded[s]
 					progress := float64(done.Add(int64(len(seq)))) / float64(totalWork)
 					lr := cfg.LR * (1 - progress)
@@ -234,6 +258,9 @@ func Train(corpus [][]string, cfg TrainConfig) (*Model, error) {
 			}(trainers[w], w)
 		}
 		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: training cancelled in epoch %d: %w", epoch, err)
+		}
 		if cfg.Progress != nil {
 			var lossSum float64
 			var pairs int64

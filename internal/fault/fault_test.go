@@ -1,0 +1,79 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestInjectUnarmedIsNoop(t *testing.T) {
+	Reset()
+	if err := Inject("nowhere"); err != nil {
+		t.Fatalf("unarmed Inject = %v", err)
+	}
+}
+
+func TestErrorHookFiresAndClears(t *testing.T) {
+	t.Cleanup(Reset)
+	boom := errors.New("boom")
+	Set("p", Error(boom))
+	if err := Inject("p"); !errors.Is(err, boom) {
+		t.Fatalf("Inject = %v, want boom", err)
+	}
+	if err := Inject("other"); err != nil {
+		t.Fatalf("other point fired: %v", err)
+	}
+	if Hits("p") != 1 {
+		t.Fatalf("Hits = %d, want 1", Hits("p"))
+	}
+	Clear("p")
+	if err := Inject("p"); err != nil {
+		t.Fatalf("cleared hook fired: %v", err)
+	}
+}
+
+func TestSetNBoundsInjections(t *testing.T) {
+	t.Cleanup(Reset)
+	boom := errors.New("boom")
+	SetN("p", 2, Error(boom))
+	for i := 0; i < 2; i++ {
+		if err := Inject("p"); !errors.Is(err, boom) {
+			t.Fatalf("shot %d: %v", i, err)
+		}
+	}
+	if err := Inject("p"); err != nil {
+		t.Fatalf("third shot fired: %v", err)
+	}
+	if Hits("p") != 2 {
+		t.Fatalf("Hits = %d, want 2", Hits("p"))
+	}
+}
+
+func TestLatencyHookSleeps(t *testing.T) {
+	t.Cleanup(Reset)
+	Set("slow", Latency(20*time.Millisecond))
+	start := time.Now()
+	if err := Inject("slow"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("latency hook returned after %v", d)
+	}
+}
+
+func TestPanicHookPanics(t *testing.T) {
+	t.Cleanup(Reset)
+	Set("p", Panic("kaboom"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic hook did not panic")
+		}
+	}()
+	Inject("p")
+}
+
+func TestHTTPPoint(t *testing.T) {
+	if got := HTTPPoint("report"); got != "http/report" {
+		t.Fatalf("HTTPPoint = %q", got)
+	}
+}

@@ -1,0 +1,89 @@
+// Package flight coalesces concurrent executions of one logical
+// operation into a single run — the retrain coordinator's core. Unlike
+// a bare singleflight, joining is context-aware: every caller waits
+// under its own context and can abandon the wait without affecting the
+// run, while the run itself is bound to the context the starter
+// supplied.
+package flight
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// call is one in-flight run.
+type call struct {
+	done chan struct{}
+	err  error
+}
+
+// Group coalesces concurrent runs of one operation. The zero Group is
+// ready to use. All methods are safe for concurrent use.
+type Group struct {
+	mu  sync.Mutex
+	cur *call
+}
+
+// Do executes fn if no run is in flight, otherwise joins the in-flight
+// run. The run always executes in its own goroutine under runCtx (so a
+// caller that stops waiting never aborts it for other joiners), while
+// this caller waits under waitCtx: if waitCtx ends first, Do returns
+// waitCtx.Err() and the run continues. leader reports whether this call
+// started the run.
+func (g *Group) Do(waitCtx, runCtx context.Context, fn func(context.Context) error) (leader bool, err error) {
+	g.mu.Lock()
+	c := g.cur
+	if c == nil {
+		c = g.startLocked(runCtx, fn)
+		leader = true
+	}
+	g.mu.Unlock()
+	select {
+	case <-c.done:
+		return leader, c.err
+	case <-waitCtx.Done():
+		return leader, waitCtx.Err()
+	}
+}
+
+// Start begins fn under runCtx if the group is idle and returns without
+// waiting; it reports whether this call started a run (false means one
+// was already in flight).
+func (g *Group) Start(runCtx context.Context, fn func(context.Context) error) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.cur != nil {
+		return false
+	}
+	g.startLocked(runCtx, fn)
+	return true
+}
+
+// startLocked launches fn; the caller holds g.mu.
+func (g *Group) startLocked(runCtx context.Context, fn func(context.Context) error) *call {
+	c := &call{done: make(chan struct{})}
+	g.cur = c
+	go func() {
+		defer close(c.done)
+		defer func() {
+			// A panicking run must not wedge the group or crash the
+			// process: surface it as the run's error.
+			if p := recover(); p != nil {
+				c.err = fmt.Errorf("flight: run panicked: %v", p)
+			}
+			g.mu.Lock()
+			g.cur = nil
+			g.mu.Unlock()
+		}()
+		c.err = fn(runCtx)
+	}()
+	return c
+}
+
+// Running reports whether a run is in flight.
+func (g *Group) Running() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.cur != nil
+}

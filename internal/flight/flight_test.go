@@ -1,0 +1,139 @@
+package flight
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDoCoalescesConcurrentCallers(t *testing.T) {
+	var g Group
+	var runs atomic.Int64
+	release := make(chan struct{})
+	fn := func(ctx context.Context) error {
+		runs.Add(1)
+		<-release
+		return errors.New("shared")
+	}
+	const callers = 8
+	var leaders atomic.Int64
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			leader, err := g.Do(context.Background(), context.Background(), fn)
+			if leader {
+				leaders.Add(1)
+			}
+			errs[i] = err
+		}(i)
+	}
+	// Let every caller join before releasing the run.
+	for g.Running() == false {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if runs.Load() != 1 {
+		t.Fatalf("fn ran %d times, want 1", runs.Load())
+	}
+	if leaders.Load() != 1 {
+		t.Fatalf("%d leaders, want 1", leaders.Load())
+	}
+	for i, err := range errs {
+		if err == nil || err.Error() != "shared" {
+			t.Fatalf("caller %d got %v, want shared error", i, err)
+		}
+	}
+	if g.Running() {
+		t.Fatal("group still running after completion")
+	}
+}
+
+func TestDoSequentialRunsAreIndependent(t *testing.T) {
+	var g Group
+	var runs atomic.Int64
+	fn := func(ctx context.Context) error { runs.Add(1); return nil }
+	for i := 0; i < 3; i++ {
+		if _, err := g.Do(context.Background(), context.Background(), fn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if runs.Load() != 3 {
+		t.Fatalf("sequential calls coalesced: %d runs", runs.Load())
+	}
+}
+
+func TestWaiterAbandonsWithoutAbortingRun(t *testing.T) {
+	var g Group
+	release := make(chan struct{})
+	done := make(chan struct{})
+	fn := func(ctx context.Context) error {
+		<-release
+		close(done)
+		return nil
+	}
+	go g.Do(context.Background(), context.Background(), fn)
+	for !g.Running() {
+		time.Sleep(time.Millisecond)
+	}
+	// A joiner with a cancelled wait context returns immediately...
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := g.Do(ctx, ctx, fn); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled joiner got %v", err)
+	}
+	// ...and the run is still alive and completes.
+	if !g.Running() {
+		t.Fatal("run aborted by abandoned waiter")
+	}
+	close(release)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("run never completed")
+	}
+}
+
+func TestStartReportsInFlight(t *testing.T) {
+	var g Group
+	release := make(chan struct{})
+	blocking := func(ctx context.Context) error { <-release; return nil }
+	if !g.Start(context.Background(), blocking) {
+		t.Fatal("first Start did not start")
+	}
+	if g.Start(context.Background(), blocking) {
+		t.Fatal("second Start started a duplicate run")
+	}
+	close(release)
+	for g.Running() {
+		time.Sleep(time.Millisecond)
+	}
+	if !g.Start(context.Background(), func(ctx context.Context) error { return nil }) {
+		t.Fatal("Start after completion did not start")
+	}
+}
+
+func TestPanickingRunSurfacesErrorAndUnwedges(t *testing.T) {
+	var g Group
+	_, err := g.Do(context.Background(), context.Background(), func(ctx context.Context) error {
+		panic("kaboom")
+	})
+	if err == nil {
+		t.Fatal("panicking run returned nil error")
+	}
+	// The group must accept new runs afterwards.
+	ran := false
+	if _, err := g.Do(context.Background(), context.Background(), func(ctx context.Context) error {
+		ran = true
+		return nil
+	}); err != nil || !ran {
+		t.Fatalf("group wedged after panic: ran=%v err=%v", ran, err)
+	}
+}

@@ -42,8 +42,20 @@ func (e *Extension) post(path string, in, out any) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return &APIError{Status: resp.StatusCode, Message: string(bytes.TrimSpace(msg))}
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		apiErr := &APIError{Status: resp.StatusCode}
+		// The backend wraps errors as {"error": "..."}; fall back to the
+		// raw body for proxies and older servers.
+		var eb errorBody
+		if json.Unmarshal(raw, &eb) == nil && eb.Error != "" {
+			apiErr.Message = eb.Error
+		} else {
+			apiErr.Message = string(bytes.TrimSpace(raw))
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			apiErr.RetryAfter = ra
+		}
+		return apiErr
 	}
 	if out == nil {
 		return nil
@@ -58,6 +70,9 @@ func (e *Extension) post(path string, in, out any) error {
 type APIError struct {
 	Status  int
 	Message string
+	// RetryAfter echoes the Retry-After header when the backend shed the
+	// request (429), so callers can back off as instructed.
+	RetryAfter string
 }
 
 // Error implements error.
@@ -85,9 +100,18 @@ func (e *Extension) Feedback(adID int, source string, clicked bool) error {
 }
 
 // Retrain asks the backend to refit its model on everything reported so
-// far (operator endpoint; the paper ran this daily).
+// far (operator endpoint; the paper ran this daily). The call blocks
+// until the retrain — possibly one already in flight that this request
+// joined — finishes.
 func (e *Extension) Retrain() error {
 	return e.post("/v1/retrain", struct{}{}, nil)
+}
+
+// RetrainAsync kicks off a background retrain and returns as soon as the
+// backend accepts it (202). Poll Stats().Trained or the
+// hostprof_retrain_state gauge for completion.
+func (e *Extension) RetrainAsync() error {
+	return e.post("/v1/retrain?async=1", struct{}{}, nil)
 }
 
 // Stats fetches the backend's aggregate statistics.

@@ -11,16 +11,20 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hostprof/internal/ads"
 	"hostprof/internal/core"
+	"hostprof/internal/fault"
+	"hostprof/internal/flight"
 	"hostprof/internal/obs"
 	"hostprof/internal/ontology"
 	"hostprof/internal/store"
@@ -60,6 +64,21 @@ type Config struct {
 	// SnapshotEvery, when positive, snapshots on a timer in addition to
 	// the after-retrain and shutdown snapshots.
 	SnapshotEvery time.Duration
+	// Store, when non-nil, is used directly instead of opening one from
+	// DataDir/Fsync/SnapshotEvery — for callers that need store tuning
+	// beyond those fields (sharding, WAL re-probe cadence).
+	Store *store.Store
+	// RetrainTimeout bounds each retrain run; a run past the deadline is
+	// cancelled at the next epoch boundary and reported as
+	// context.DeadlineExceeded (HTTP 504). Zero means no deadline.
+	RetrainTimeout time.Duration
+	// MaxInflightReports caps concurrently served /v1/report requests;
+	// excess requests are shed with 429 + Retry-After instead of piling
+	// onto a saturated backend. Zero means unlimited.
+	MaxInflightReports int
+	// MaxHostsPerReport rejects reports carrying more hostnames (400),
+	// bounding per-request work and WAL amplification. Default 1024.
+	MaxHostsPerReport int
 }
 
 // Backend is the profiling/ad server. All methods are safe for
@@ -70,6 +89,12 @@ type Backend struct {
 	met backendMetrics
 
 	store *store.Store
+
+	// retrains coalesces concurrent retrain requests into one training
+	// run; inflight counts /v1/report requests being served for the
+	// admission gate.
+	retrains flight.Group
+	inflight atomic.Int64
 
 	mu       sync.Mutex
 	profiler *core.Profiler
@@ -92,6 +117,8 @@ type backendMetrics struct {
 	epochSeconds   *obs.Histogram
 	epochLoss      *obs.Gauge
 	profileSeconds *obs.Histogram
+	shed           *obs.Counter
+	panics         *obs.Counter
 }
 
 var trainBuckets = obs.ExpBuckets(0.01, 4, 10)
@@ -102,6 +129,9 @@ func newBackendMetrics(reg *obs.Registry) backendMetrics {
 	reg.Describe("hostprof_profile_seconds", "per-report session profiling latency")
 	reg.Describe("hostprof_campaign_impressions", "ad impressions recorded, by ad source")
 	reg.Describe("hostprof_campaign_clicks", "ad clicks recorded, by ad source")
+	reg.Describe("hostprof_http_shed_total", "report requests shed by the max-in-flight admission gate")
+	reg.Describe("hostprof_http_panics_total", "handler panics recovered into 500s")
+	reg.Describe("hostprof_retrain_state", "0 idle, 1 retrain in flight")
 	return backendMetrics{
 		reports:        reg.Counter("hostprof_reports_total"),
 		reportHosts:    reg.Counter("hostprof_report_hosts_total"),
@@ -113,6 +143,8 @@ func newBackendMetrics(reg *obs.Registry) backendMetrics {
 		epochSeconds:   reg.Histogram("hostprof_train_epoch_seconds", trainBuckets),
 		epochLoss:      reg.Gauge("hostprof_train_epoch_loss"),
 		profileSeconds: reg.Histogram("hostprof_profile_seconds", nil),
+		shed:           reg.Counter("hostprof_http_shed_total"),
+		panics:         reg.Counter("hostprof_http_panics_total"),
 	}
 }
 
@@ -131,6 +163,9 @@ func New(cfg Config) (*Backend, error) {
 	if cfg.AdsPerReport <= 0 {
 		cfg.AdsPerReport = 20
 	}
+	if cfg.MaxHostsPerReport <= 0 {
+		cfg.MaxHostsPerReport = 1024
+	}
 	sel, err := ads.NewSelector(cfg.AdDB, cfg.Ontology, 20)
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
@@ -139,14 +174,17 @@ func New(cfg Config) (*Backend, error) {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	st, err := store.Open(store.Config{
-		Dir:           cfg.DataDir,
-		Fsync:         cfg.Fsync,
-		SnapshotEvery: cfg.SnapshotEvery,
-		Metrics:       reg,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("server: %w", err)
+	st := cfg.Store
+	if st == nil {
+		st, err = store.Open(store.Config{
+			Dir:           cfg.DataDir,
+			Fsync:         cfg.Fsync,
+			SnapshotEvery: cfg.SnapshotEvery,
+			Metrics:       reg,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
 	}
 	b := &Backend{
 		cfg:         cfg,
@@ -164,6 +202,12 @@ func New(cfg Config) (*Backend, error) {
 	}
 	reg.GaugeFunc("hostprof_model_trained", func() float64 {
 		if b.Ready() {
+			return 1
+		}
+		return 0
+	})
+	reg.GaugeFunc("hostprof_retrain_state", func() float64 {
+		if b.retrains.Running() {
 			return 1
 		}
 		return 0
@@ -201,9 +245,44 @@ func (b *Backend) Ready() bool {
 
 // Retrain fits a fresh embedding on every per-user-day sequence stored so
 // far and swaps in a new profiler (the paper's daily retraining step).
+// Equivalent to RetrainContext(context.Background()).
+func (b *Backend) Retrain() error {
+	return b.RetrainContext(context.Background())
+}
+
+// RetrainContext is the backend's retrain coordinator. Concurrent calls
+// are coalesced: while a run is in flight, new callers join it and share
+// its result instead of starting a second training pass. The run itself
+// is bound to the first caller's ctx (plus Config.RetrainTimeout, when
+// set); a joiner whose own ctx expires stops waiting and gets its ctx
+// error, but the run keeps going for the callers still attached.
 // On success the model is handed to the store and a snapshot is taken,
 // so a crash after a retrain recovers warm.
-func (b *Backend) Retrain() error {
+func (b *Backend) RetrainContext(ctx context.Context) error {
+	_, err := b.retrains.Do(ctx, ctx, b.retrainRun)
+	return err
+}
+
+// RetrainAsync starts a retrain in the background unless one is already
+// running, reporting whether this call started it. The run is bound to
+// ctx (use context.Background() to detach it from any request); its
+// outcome lands in the retrain metrics and, on success, the swapped-in
+// profiler. Poll RetrainRunning or hostprof_retrain_state for progress.
+func (b *Backend) RetrainAsync(ctx context.Context) bool {
+	return b.retrains.Start(ctx, b.retrainRun)
+}
+
+// RetrainRunning reports whether a retrain is in flight.
+func (b *Backend) RetrainRunning() bool { return b.retrains.Running() }
+
+// retrainRun is the single-flight body: exactly one instance runs at a
+// time, however many HTTP requests or callers are attached to it.
+func (b *Backend) retrainRun(ctx context.Context) error {
+	if b.cfg.RetrainTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, b.cfg.RetrainTimeout)
+		defer cancel()
+	}
 	corpus := b.store.AllSequences()
 	tc := b.cfg.Train
 	user := tc.Progress
@@ -218,7 +297,7 @@ func (b *Backend) Retrain() error {
 	// The duration histogram observes failed retrains too, so slow
 	// failures remain visible in hostprof_retrain_seconds.
 	sp := obs.StartSpan(b.met.retrainSeconds)
-	model, err := core.Train(corpus, tc)
+	model, err := core.TrainContext(ctx, corpus, tc)
 	sp.End()
 	if err != nil {
 		b.met.retrainErrors.Inc()
@@ -242,6 +321,12 @@ func (b *Backend) Retrain() error {
 // on the WAL, never on a backend-wide lock.
 func (b *Backend) report(userID int, now int64, hosts []string) ([]ads.Ad, error) {
 	b.met.reports.Inc()
+	// Ingest every non-blocklisted host before surfacing any error, so a
+	// failure on host N doesn't silently drop hosts N+1..end: the stored
+	// prefix+suffix matches what the store accepted, and the client's
+	// retry (the whole report) is then a harmless duplicate-free replay
+	// of the failed entries only in the degraded-store sense.
+	var appendErr error
 	for i, h := range hosts {
 		if b.cfg.Blocklist != nil && b.cfg.Blocklist.Contains(h) {
 			b.met.reportDrops.Inc()
@@ -250,9 +335,15 @@ func (b *Backend) report(userID int, now int64, hosts []string) ([]ads.Ad, error
 		// Hosts within one report share the report timestamp; order is
 		// preserved because store sessions sort stably by time.
 		if err := b.store.Append(trace.Visit{User: userID, Time: now, Host: hosts[i]}); err != nil {
-			return nil, fmt.Errorf("server: storing report: %w", err)
+			if appendErr == nil {
+				appendErr = fmt.Errorf("server: storing report: %w", err)
+			}
+			continue
 		}
 		b.met.reportHosts.Inc()
+	}
+	if appendErr != nil {
+		return nil, appendErr
 	}
 	session := b.store.Session(userID, now, b.cfg.SessionWindow)
 	b.mu.Lock()
@@ -264,10 +355,10 @@ func (b *Backend) report(userID int, now int64, hosts []string) ([]ads.Ad, error
 	}
 	sp := obs.StartSpan(b.met.profileSeconds)
 	profile, err := prof.ProfileSession(session)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
-	sp.End()
 	b.mu.Lock()
 	list := b.selector.Select(profile, b.cfg.AdsPerReport)
 	b.mu.Unlock()
@@ -388,20 +479,24 @@ type FeedbackRequest struct {
 //
 //	POST /v1/report     ReportRequest  → ReportResponse
 //	POST /v1/feedback   FeedbackRequest → 204
-//	POST /v1/retrain    (empty)        → 204
+//	POST /v1/retrain    (empty)        → 204 (?async=1 → 202)
 //	GET  /v1/stats      → Stats
 //	GET  /metrics       → Prometheus text exposition
 //	GET  /varz          → JSON metrics snapshot
 //	GET  /healthz       → readiness (200 once the model is trained)
 //
+// Error responses from /v1 endpoints carry a JSON body {"error": "..."}.
 // Every /v1 endpoint is instrumented with a request counter
 // (hostprof_http_requests_total{endpoint,code}) and a latency histogram
-// (hostprof_http_request_seconds{endpoint}).
+// (hostprof_http_request_seconds{endpoint}); /v1/report additionally
+// passes the max-in-flight admission gate.
 func (b *Backend) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/report", b.instrument("report", b.handleReport))
-	mux.HandleFunc("POST /v1/feedback", b.instrument("feedback", b.handleFeedback))
-	mux.HandleFunc("POST /v1/retrain", b.instrument("retrain", b.handleRetrain))
+	// Fault hooks sit inside the admission gate so injected latency
+	// holds an in-flight slot, the way a slow store would.
+	mux.HandleFunc("POST /v1/report", b.instrument("report", b.admit(b.faulty("report", b.handleReport))))
+	mux.HandleFunc("POST /v1/feedback", b.instrument("feedback", b.faulty("feedback", b.handleFeedback)))
+	mux.HandleFunc("POST /v1/retrain", b.instrument("retrain", b.faulty("retrain", b.handleRetrain)))
 	mux.HandleFunc("GET /v1/stats", b.instrument("stats", b.handleStats))
 	mux.Handle("GET /metrics", b.reg.MetricsHandler())
 	mux.Handle("GET /varz", b.reg.VarzHandler())
@@ -409,39 +504,114 @@ func (b *Backend) Handler() http.Handler {
 	return mux
 }
 
-// statusRecorder captures the response code written by a handler.
+// statusRecorder captures the response code written by a handler and
+// whether anything was written, so panic recovery knows if a 500 can
+// still be sent.
 type statusRecorder struct {
 	http.ResponseWriter
-	code int
+	code  int
+	wrote bool
 }
 
 func (w *statusRecorder) WriteHeader(code int) {
 	w.code = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
 }
 
+func (w *statusRecorder) Write(p []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(p)
+}
+
 // instrument wraps an endpoint handler with a per-endpoint latency
-// histogram and a per-(endpoint, code) request counter.
+// histogram, a per-(endpoint, code) request counter, and panic
+// containment: a panicking handler becomes a 500 (when nothing has been
+// written yet) instead of tearing down the connection, and is counted in
+// hostprof_http_panics_total.
 func (b *Backend) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	lat := b.reg.Histogram("hostprof_http_request_seconds", nil, obs.L("endpoint", endpoint))
 	return func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		sp := obs.StartSpan(lat)
+		defer func() {
+			sp.End()
+			if p := recover(); p != nil {
+				b.met.panics.Inc()
+				rec.code = http.StatusInternalServerError
+				if !rec.wrote {
+					writeError(rec, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", p))
+				}
+			}
+			b.reg.Counter("hostprof_http_requests_total",
+				obs.L("endpoint", endpoint),
+				obs.L("code", strconv.Itoa(rec.code))).Inc()
+		}()
 		h(rec, r)
-		sp.End()
-		b.reg.Counter("hostprof_http_requests_total",
-			obs.L("endpoint", endpoint),
-			obs.L("code", strconv.Itoa(rec.code))).Inc()
+	}
+}
+
+// admit is the /v1/report overload gate: beyond MaxInflightReports
+// concurrent requests, excess load is shed immediately with 429 +
+// Retry-After rather than queueing onto a saturated store or profiler.
+func (b *Backend) admit(h http.HandlerFunc) http.HandlerFunc {
+	if b.cfg.MaxInflightReports <= 0 {
+		return h
+	}
+	limit := int64(b.cfg.MaxInflightReports)
+	return func(w http.ResponseWriter, r *http.Request) {
+		if b.inflight.Add(1) > limit {
+			b.inflight.Add(-1)
+			b.met.shed.Inc()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "server overloaded, retry later")
+			return
+		}
+		defer b.inflight.Add(-1)
+		h(w, r)
+	}
+}
+
+// faulty exposes the handler to the test-only fault plane (see
+// internal/fault): an armed hook can delay the request, fail it with
+// 500, or panic into instrument's recovery. Unarmed, it is one atomic
+// load.
+func (b *Backend) faulty(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	point := fault.HTTPPoint(endpoint)
+	return func(w http.ResponseWriter, r *http.Request) {
+		if err := fault.Inject(point); err != nil {
+			writeError(w, http.StatusInternalServerError, fmt.Sprintf("injected fault: %v", err))
+			return
+		}
+		h(w, r)
 	}
 }
 
 const maxBodyBytes = 1 << 20
 
+// errorBody is the JSON error envelope every /v1 endpoint uses.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// writeError sends a structured JSON error response.
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorBody{Error: msg})
+}
+
 func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
-		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request: %v", err))
 		return false
 	}
 	return true
@@ -452,20 +622,31 @@ func (b *Backend) handleReport(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	if len(req.Hosts) == 0 {
-		http.Error(w, "empty host list", http.StatusBadRequest)
+	switch {
+	case len(req.Hosts) == 0:
+		writeError(w, http.StatusBadRequest, "empty host list")
+		return
+	case len(req.Hosts) > b.cfg.MaxHostsPerReport:
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("report carries %d hosts, limit %d", len(req.Hosts), b.cfg.MaxHostsPerReport))
+		return
+	case req.User < 0:
+		writeError(w, http.StatusBadRequest, "user must be non-negative")
+		return
+	case req.Time < 0:
+		writeError(w, http.StatusBadRequest, "time must be non-negative")
 		return
 	}
 	list, err := b.report(req.User, req.Time, req.Hosts)
 	switch {
 	case errors.Is(err, errNotTrained):
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		writeError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	case errors.Is(err, core.ErrNoLabels), errors.Is(err, core.ErrEmptySession):
 		// Profiling undefined for this session: legitimate, no ads.
 		list = nil
 	case err != nil:
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	resp := ReportResponse{Ads: make([]WireAd, 0, len(list))}
@@ -486,8 +667,17 @@ func (b *Backend) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	if req.Source != "eavesdropper" && req.Source != "original" {
-		http.Error(w, "source must be eavesdropper or original", http.StatusBadRequest)
+	// Full validation before touching backend state: a bad request must
+	// leave the campaign tallies untouched.
+	switch {
+	case req.Source != "eavesdropper" && req.Source != "original":
+		writeError(w, http.StatusBadRequest, "source must be eavesdropper or original")
+		return
+	case req.User < 0:
+		writeError(w, http.StatusBadRequest, "user must be non-negative")
+		return
+	case req.AdID < 0:
+		writeError(w, http.StatusBadRequest, "ad_id must be non-negative")
 		return
 	}
 	b.observeImpression(req.Source, req.Clicked)
@@ -495,15 +685,33 @@ func (b *Backend) handleFeedback(w http.ResponseWriter, r *http.Request) {
 }
 
 func (b *Backend) handleRetrain(w http.ResponseWriter, r *http.Request) {
-	if err := b.Retrain(); err != nil {
-		if errors.Is(err, core.ErrEmptyCorpus) {
-			http.Error(w, err.Error(), http.StatusConflict)
-			return
-		}
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+	if r.URL.Query().Get("async") == "1" {
+		// Fire-and-poll mode: the run is detached from this request's
+		// lifetime; callers watch hostprof_retrain_state (or /v1/stats)
+		// for completion. 202 either way — joining an in-flight run is
+		// exactly what a second async request means.
+		b.RetrainAsync(context.WithoutCancel(r.Context()))
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(map[string]string{"status": "retraining"})
 		return
 	}
-	w.WriteHeader(http.StatusNoContent)
+	// Synchronous mode: the wait is bound to the request context (a
+	// dropped client stops waiting), but the run itself is detached so a
+	// disconnect cannot abort training that other callers joined.
+	_, err := b.retrains.Do(r.Context(), context.WithoutCancel(r.Context()), b.retrainRun)
+	switch {
+	case err == nil:
+		w.WriteHeader(http.StatusNoContent)
+	case errors.Is(err, core.ErrEmptyCorpus):
+		writeError(w, http.StatusConflict, err.Error())
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, err.Error())
+	case errors.Is(err, context.Canceled):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
 }
 
 func (b *Backend) handleStats(w http.ResponseWriter, r *http.Request) {

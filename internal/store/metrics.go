@@ -6,16 +6,18 @@ import "hostprof/internal/obs"
 // nil-safe (see internal/obs), so a store without a registry pays only
 // dead branches.
 type storeMetrics struct {
-	appends         *obs.Counter
-	appendErrors    *obs.Counter
-	walBytes        *obs.Counter
-	fsyncs          *obs.Counter
-	rotations       *obs.Counter
-	snapshots       *obs.Counter
-	snapshotErrors  *obs.Counter
-	snapshotSeconds *obs.Histogram
-	recoveryRecords *obs.Counter
-	recoveryTorn    *obs.Counter
+	appends          *obs.Counter
+	appendErrors     *obs.Counter
+	walBytes         *obs.Counter
+	fsyncs           *obs.Counter
+	rotations        *obs.Counter
+	snapshots        *obs.Counter
+	snapshotErrors   *obs.Counter
+	snapshotSeconds  *obs.Histogram
+	recoveryRecords  *obs.Counter
+	recoveryTorn     *obs.Counter
+	walReattaches    *obs.Counter
+	walProbeFailures *obs.Counter
 }
 
 // snapshotBuckets spans in-memory toy stores to multi-gigabyte dumps.
@@ -30,18 +32,29 @@ func newStoreMetrics(reg *obs.Registry, s *Store) storeMetrics {
 	reg.Describe("hostprof_store_recovery_records_total", "WAL records replayed during startup recovery")
 	reg.Describe("hostprof_store_visits", "visits held in the store")
 	reg.Describe("hostprof_store_users", "distinct users held in the store")
+	reg.Describe("hostprof_store_degraded", "1 while the WAL is detached after a write failure and the store runs memory-only")
+	reg.Describe("hostprof_store_append_errors_total", "WAL append failures (each one degrades the store)")
+	reg.Describe("hostprof_store_wal_reattaches_total", "successful WAL re-attachments after degraded mode")
 	reg.GaugeFunc("hostprof_store_visits", func() float64 { return float64(s.Len()) })
 	reg.GaugeFunc("hostprof_store_users", func() float64 { return float64(len(s.Users())) })
+	reg.GaugeFunc("hostprof_store_degraded", func() float64 {
+		if s.Degraded() {
+			return 1
+		}
+		return 0
+	})
 	return storeMetrics{
-		appends:         reg.Counter("hostprof_store_appends_total"),
-		appendErrors:    reg.Counter("hostprof_store_append_errors_total"),
-		walBytes:        reg.Counter("hostprof_store_wal_bytes_total"),
-		fsyncs:          reg.Counter("hostprof_store_fsyncs_total"),
-		rotations:       reg.Counter("hostprof_store_segment_rotations_total"),
-		snapshots:       reg.Counter("hostprof_store_snapshots_total"),
-		snapshotErrors:  reg.Counter("hostprof_store_snapshot_errors_total"),
-		snapshotSeconds: reg.Histogram("hostprof_store_snapshot_seconds", snapshotBuckets),
-		recoveryRecords: reg.Counter("hostprof_store_recovery_records_total"),
-		recoveryTorn:    reg.Counter("hostprof_store_recovery_torn_tails_total"),
+		appends:          reg.Counter("hostprof_store_appends_total"),
+		appendErrors:     reg.Counter("hostprof_store_append_errors_total"),
+		walBytes:         reg.Counter("hostprof_store_wal_bytes_total"),
+		fsyncs:           reg.Counter("hostprof_store_fsyncs_total"),
+		rotations:        reg.Counter("hostprof_store_segment_rotations_total"),
+		snapshots:        reg.Counter("hostprof_store_snapshots_total"),
+		snapshotErrors:   reg.Counter("hostprof_store_snapshot_errors_total"),
+		snapshotSeconds:  reg.Histogram("hostprof_store_snapshot_seconds", snapshotBuckets),
+		recoveryRecords:  reg.Counter("hostprof_store_recovery_records_total"),
+		recoveryTorn:     reg.Counter("hostprof_store_recovery_torn_tails_total"),
+		walReattaches:    reg.Counter("hostprof_store_wal_reattaches_total"),
+		walProbeFailures: reg.Counter("hostprof_store_wal_probe_failures_total"),
 	}
 }

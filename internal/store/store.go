@@ -24,11 +24,13 @@
 package store
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hostprof/internal/core"
@@ -94,6 +96,10 @@ type Config struct {
 	// SnapshotEvery, when positive, snapshots on a background ticker in
 	// addition to explicit Snapshot calls.
 	SnapshotEvery time.Duration
+	// ReprobeMin and ReprobeMax bound the exponential backoff between
+	// WAL re-attach probes while the store is degraded (see Append).
+	// Defaults 500ms and 30s.
+	ReprobeMin, ReprobeMax time.Duration
 	// Metrics, when non-nil, is the registry the store exports into
 	// (hostprof_store_* names; see internal/obs).
 	Metrics *obs.Registry
@@ -111,6 +117,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SegmentBytes <= 0 {
 		c.SegmentBytes = 64 << 20
+	}
+	if c.ReprobeMin <= 0 {
+		c.ReprobeMin = 500 * time.Millisecond
+	}
+	if c.ReprobeMax < c.ReprobeMin {
+		c.ReprobeMax = 30 * time.Second
+		if c.ReprobeMax < c.ReprobeMin {
+			c.ReprobeMax = c.ReprobeMin
+		}
 	}
 	return c
 }
@@ -153,6 +168,14 @@ type Store struct {
 	mask   uint64
 
 	wal *walWriter // nil when in-memory
+
+	// degraded flips when a WAL append fails: the store keeps accepting
+	// visits memory-only while a background prober re-attaches the WAL
+	// with exponential backoff. degradeMu serializes the transition (and
+	// prober spawn) against Close.
+	degraded  atomic.Bool
+	degradeMu sync.Mutex
+	closing   bool
 
 	modelMu sync.Mutex
 	model   *core.Model
@@ -265,13 +288,24 @@ func (s *Store) Recovery() RecoveryStats { return s.rec }
 // Append records one visit: WAL first (when durable), then the user's
 // shard. Appends from different users contend only on the WAL's internal
 // lock, never on a store-wide mutex.
+//
+// A WAL write failure does not fail the append: the store degrades to
+// memory-only mode (visible as Degraded and the hostprof_store_degraded
+// gauge), keeps accepting visits, and re-probes the WAL with bounded
+// exponential backoff until it re-attaches. Visits accepted while
+// degraded are covered by the snapshot taken on re-attach; only a crash
+// during the degraded window can lose them — the price of staying up.
+// Append fails only for an unstorable record (oversized hostname).
 func (s *Store) Append(v trace.Visit) error {
+	if len(v.Host) > maxRecordPayload/2 {
+		return fmt.Errorf("store: hostname of %d bytes exceeds record limit", len(v.Host))
+	}
 	s.gate.RLock()
 	defer s.gate.RUnlock()
-	if s.wal != nil {
+	if s.wal != nil && !s.degraded.Load() {
 		if err := s.wal.Append(v); err != nil {
 			s.met.appendErrors.Inc()
-			return err
+			s.degrade()
 		}
 	}
 	sh := &s.shards[s.shardOf(v.User)]
@@ -280,6 +314,54 @@ func (s *Store) Append(v trace.Visit) error {
 	sh.mu.Unlock()
 	s.met.appends.Inc()
 	return nil
+}
+
+// Degraded reports whether the store is running memory-only after a WAL
+// failure, with durability suspended until the prober re-attaches.
+func (s *Store) Degraded() bool { return s.degraded.Load() }
+
+// degrade enters memory-only mode and spawns the re-probe loop; only
+// the first caller after a healthy period does anything.
+func (s *Store) degrade() {
+	s.degradeMu.Lock()
+	defer s.degradeMu.Unlock()
+	if s.closing || s.degraded.Load() {
+		return
+	}
+	s.degraded.Store(true)
+	s.wg.Add(1)
+	go s.reprobeLoop()
+}
+
+// reprobeLoop tries to re-attach the WAL with exponential backoff
+// between cfg.ReprobeMin and cfg.ReprobeMax, then restores durability:
+// the post-re-attach snapshot persists everything ingested while the
+// WAL was down.
+func (s *Store) reprobeLoop() {
+	defer s.wg.Done()
+	backoff := s.cfg.ReprobeMin
+	timer := time.NewTimer(backoff)
+	defer timer.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-timer.C:
+		}
+		if err := s.wal.reattach(); err == nil {
+			s.degraded.Store(false)
+			s.met.walReattaches.Inc()
+			s.Snapshot() // best effort; failures count in snapshot_errors_total
+			return
+		}
+		s.met.appendErrors.Inc()
+		s.met.walProbeFailures.Inc()
+		backoff *= 2
+		if backoff > s.cfg.ReprobeMax {
+			backoff = s.cfg.ReprobeMax
+		}
+		timer.Reset(backoff)
+	}
 }
 
 // Len returns the number of stored visits.
@@ -389,13 +471,20 @@ func (s *Store) Flush() error {
 	return s.wal.Sync()
 }
 
+// ErrDegraded is returned by Snapshot while the WAL is detached: a
+// snapshot cut needs a healthy log to retire segments against.
+var ErrDegraded = errors.New("store: degraded (WAL detached)")
+
 // Snapshot writes a durable snapshot of the current visits and model,
 // then retires the WAL segments it covers. Appends are blocked only for
 // the in-memory copy and WAL cut, not for the disk write. No-op for
-// in-memory stores.
+// in-memory stores; ErrDegraded while the WAL is detached.
 func (s *Store) Snapshot() error {
 	if s.wal == nil {
 		return nil
+	}
+	if s.degraded.Load() {
+		return ErrDegraded
 	}
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
@@ -424,6 +513,11 @@ func (s *Store) Snapshot() error {
 // shutdown) should call Snapshot first.
 func (s *Store) Close() error {
 	s.closeOnce.Do(func() {
+		// Block new degrade transitions so no prober goroutine is
+		// spawned between close(stop) and wg.Wait.
+		s.degradeMu.Lock()
+		s.closing = true
+		s.degradeMu.Unlock()
 		close(s.stop)
 		s.wg.Wait()
 		if s.wal != nil {

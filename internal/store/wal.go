@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 
+	"hostprof/internal/fault"
 	"hostprof/internal/trace"
 )
 
@@ -76,6 +77,9 @@ func (w *walWriter) Append(v trace.Visit) error {
 		return err
 	}
 	w.buf = buf
+	if err := fault.Inject(fault.StoreWALAppend); err != nil {
+		return fmt.Errorf("store: wal append: %w", err)
+	}
 	if w.size > 0 && w.size+int64(len(buf)) > w.segBytes {
 		if err := w.rotateLocked(); err != nil {
 			return err
@@ -94,7 +98,7 @@ func (w *walWriter) Append(v trace.Visit) error {
 }
 
 func (w *walWriter) syncLocked() error {
-	if !w.dirty {
+	if !w.dirty || w.f == nil {
 		return nil
 	}
 	if err := w.f.Sync(); err != nil {
@@ -146,7 +150,38 @@ func (w *walWriter) Close() error {
 	if err := w.syncLocked(); err != nil {
 		return err
 	}
+	if w.f == nil {
+		return nil
+	}
 	return w.f.Close()
+}
+
+// reattach recovers the WAL after an append failure: the failed segment
+// is truncated back to its last fully acknowledged record (w.size only
+// advances on complete writes, so this removes any partial frame a
+// failed append left behind — keeping the segment replayable once it is
+// no longer the final one) and closed, and a fresh segment is opened at
+// the next sequence number. The store's degraded-mode prober calls this
+// with appends suppressed; the lock makes it safe regardless. The
+// injection probe up front means an armed wal-append fault also keeps
+// re-attachment failing until the fault clears.
+func (w *walWriter) reattach() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := fault.Inject(fault.StoreWALAppend); err != nil {
+		return fmt.Errorf("store: wal reattach probe: %w", err)
+	}
+	if w.f != nil {
+		// Best effort: a medium so broken that even truncate fails will
+		// surface as corruption on the next recovery, which is the
+		// honest outcome.
+		w.f.Truncate(w.size)
+		w.f.Close()
+		w.f = nil
+		w.dirty = false
+	}
+	w.seq++
+	return w.openSegment()
 }
 
 // parseSeq extracts the sequence number from a wal/snapshot file name.

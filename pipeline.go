@@ -1,10 +1,13 @@
 package hostprof
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"hostprof/internal/core"
+	"hostprof/internal/flight"
 	"hostprof/internal/obs"
 	"hostprof/internal/sniffer"
 	"hostprof/internal/store"
@@ -37,6 +40,10 @@ type PipelineConfig struct {
 	// into — open a durable one with OpenStore to survive restarts.
 	// Nil creates a private in-memory sharded store.
 	Store *store.Store
+	// RetrainTimeout bounds each retrain run; past the deadline training
+	// is cancelled at the next epoch boundary and the retrain fails with
+	// context.DeadlineExceeded. Zero means no deadline.
+	RetrainTimeout time.Duration
 }
 
 // Pipeline is the end-to-end eavesdropper: packets in, profiles and ads
@@ -49,6 +56,11 @@ type Pipeline struct {
 	met pipelineMetrics
 
 	store *store.Store
+
+	// retrains coalesces concurrent retrain calls into one training run
+	// (the paper retrained daily; overlapping triggers must not fit two
+	// models over the same corpus).
+	retrains flight.Group
 
 	// obsMu serializes packet decoding, which mutates the observer's
 	// flow-reassembly state. It is intentionally separate from mu so
@@ -210,41 +222,69 @@ func (p *Pipeline) trainConfig() core.TrainConfig {
 	return tc
 }
 
-// retrain fits a model on corpus and swaps it in, recording retrain
-// duration and outcome. The duration histogram observes failed retrains
-// too — a retrain that dies after an hour must show up in
-// hostprof_retrain_seconds, not vanish.
-func (p *Pipeline) retrain(corpus [][]string, label string) error {
-	sp := obs.StartSpan(p.met.retrainSeconds)
-	model, err := core.Train(corpus, p.trainConfig())
-	sp.End()
-	if err != nil {
-		p.met.retrainErrors.Inc()
-		return fmt.Errorf("hostprof: %s: %w", label, err)
-	}
-	p.met.retrains.Inc()
-	profiler := core.NewProfiler(model, p.cfg.Ontology, p.cfg.Profile)
+// retrain coalesces concurrent retrain calls (the corpus is gathered
+// inside the run, so a joiner doesn't fit yesterday's snapshot), fits a
+// model and swaps it in, recording retrain duration and outcome. The
+// duration histogram observes failed retrains too — a retrain that dies
+// after an hour must show up in hostprof_retrain_seconds, not vanish.
+func (p *Pipeline) retrain(ctx context.Context, corpus func() [][]string, label string) error {
+	_, err := p.retrains.Do(ctx, ctx, func(runCtx context.Context) error {
+		if p.cfg.RetrainTimeout > 0 {
+			var cancel context.CancelFunc
+			runCtx, cancel = context.WithTimeout(runCtx, p.cfg.RetrainTimeout)
+			defer cancel()
+		}
+		sp := obs.StartSpan(p.met.retrainSeconds)
+		model, err := core.TrainContext(runCtx, corpus(), p.trainConfig())
+		sp.End()
+		if err != nil {
+			p.met.retrainErrors.Inc()
+			return fmt.Errorf("hostprof: %s: %w", label, err)
+		}
+		p.met.retrains.Inc()
+		profiler := core.NewProfiler(model, p.cfg.Ontology, p.cfg.Profile)
 
-	p.store.SetModel(model)
-	p.mu.Lock()
-	p.model = model
-	p.profiler = profiler
-	p.mu.Unlock()
-	return nil
+		p.store.SetModel(model)
+		p.mu.Lock()
+		p.model = model
+		p.profiler = profiler
+		p.mu.Unlock()
+		return nil
+	})
+	return err
 }
 
 // Retrain fits a fresh embedding on every per-user-day sequence observed
 // so far and swaps it in, mirroring the paper's daily retraining
-// (Section 5.4).
+// (Section 5.4). Equivalent to RetrainContext(context.Background()).
 func (p *Pipeline) Retrain() error {
-	return p.retrain(p.store.AllSequences(), "retraining")
+	return p.RetrainContext(context.Background())
+}
+
+// RetrainContext is Retrain with cancellation: cancel ctx (or let its
+// deadline pass) and training stops at the next epoch boundary with the
+// old model still in place. Concurrent retrain calls coalesce into one
+// training run; joiners whose ctx expires stop waiting without aborting
+// the run for the callers still attached.
+func (p *Pipeline) RetrainContext(ctx context.Context) error {
+	return p.retrain(ctx, p.store.AllSequences, "retraining")
 }
 
 // RetrainOnDay fits the embedding on a single day's sequences (the
 // paper's "previous whole day") instead of the full history.
 func (p *Pipeline) RetrainOnDay(day int) error {
-	return p.retrain(p.store.DailySequences(day), fmt.Sprintf("retraining on day %d", day))
+	return p.RetrainOnDayContext(context.Background(), day)
 }
+
+// RetrainOnDayContext is RetrainOnDay with cancellation, with the same
+// coalescing semantics as RetrainContext.
+func (p *Pipeline) RetrainOnDayContext(ctx context.Context, day int) error {
+	return p.retrain(ctx, func() [][]string { return p.store.DailySequences(day) },
+		fmt.Sprintf("retraining on day %d", day))
+}
+
+// RetrainRunning reports whether a retrain is in flight.
+func (p *Pipeline) RetrainRunning() bool { return p.retrains.Running() }
 
 // ErrNotTrained is returned by profiling before the first Retrain.
 var ErrNotTrained = fmt.Errorf("hostprof: pipeline model not trained yet")
@@ -272,11 +312,11 @@ func (p *Pipeline) profile(profiler *Profiler, hosts []string) (Vector, error) {
 	}
 	sp := obs.StartSpan(p.met.profileSeconds)
 	v, err := profiler.ProfileSession(hosts)
+	sp.End()
 	if err != nil {
 		p.met.profileErrors.Inc()
 		return nil, err
 	}
-	sp.End()
 	return v, nil
 }
 
