@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race chaos bench bench-json fuzz ci experiments experiments-small examples clean
+.PHONY: all build test vet race chaos bench bench-json fuzz ci experiments experiments-small examples trace-demo clean
 
 all: vet test build
 
@@ -42,6 +42,21 @@ ci:
 	$(GO) test ./...
 	$(GO) test -race ./...
 	$(GO) test ./internal/store -run '^$$' -fuzz '^FuzzWALRecord$$' -fuzztime 10s
+
+# End-to-end distributed-tracing demo: serve a small synthetic world,
+# post one traced report (triggering a retrain), and print the merged
+# client+server trace captured at /debug/traces.
+trace-demo:
+	$(GO) build -o /tmp/hostprof-demo ./cmd/hostprof
+	/tmp/hostprof-demo gen -out /tmp/trace-demo-world -sites 120 -users 10 -days 2 -pcap=false
+	/tmp/hostprof-demo serve -addr 127.0.0.1:8423 -ontology /tmp/trace-demo-world/ontology.jsonl \
+		-trace-sample 1 -slow-request 1ms & echo $$! > /tmp/trace-demo.pid; \
+	sleep 1; \
+	/tmp/hostprof-demo report -addr http://127.0.0.1:8423 -trace /tmp/trace-demo-world/trace.jsonl \
+		-user 3 -seed -retrain -print-trace; status=$$?; \
+	echo "--- /debug/traces (server view) ---"; \
+	curl -s http://127.0.0.1:8423/debug/traces | head -c 2000; echo; \
+	kill $$(cat /tmp/trace-demo.pid); rm -f /tmp/trace-demo.pid; exit $$status
 
 experiments:
 	$(GO) run ./cmd/experiments -verbose -data-dir data

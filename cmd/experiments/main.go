@@ -9,12 +9,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
 	"sort"
 
 	"hostprof/internal/core"
 	"hostprof/internal/experiment"
 	"hostprof/internal/obs"
+	"hostprof/internal/obs/tracer"
 	"hostprof/internal/stats"
 )
 
@@ -25,7 +27,15 @@ func main() {
 	verbose := flag.Bool("verbose", false, "print per-figure series")
 	outPath := flag.String("out", "", "also write the markdown table to this file")
 	dataDir := flag.String("data-dir", "", "write per-figure CSV series to this directory")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 	flag.Parse()
+
+	lg, err := tracer.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	slog.SetDefault(lg)
 
 	cfg := experiment.DefaultConfig(*seed)
 	if *small {
@@ -47,14 +57,18 @@ func main() {
 			trainings.Inc()
 		}
 	}
-	fmt.Fprintf(os.Stderr, "setup: %d sites, %d users, %d days, d=%d...\n",
-		cfg.Universe.Sites, cfg.Population.Users, cfg.Population.Days, cfg.Train.Dim)
+	slog.Info("building experiment world",
+		slog.Int("sites", cfg.Universe.Sites),
+		slog.Int("users", cfg.Population.Users),
+		slog.Int("days", cfg.Population.Days),
+		slog.Int("dim", cfg.Train.Dim))
 	s, err := experiment.NewSetup(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "trace: %d visits, vocab %d; running experiments...\n",
-		s.Filtered.Len(), s.Model.Vocab().Len())
+	slog.Info("running experiments",
+		slog.Int("visits", s.Filtered.Len()),
+		slog.Int("vocab", s.Model.Vocab().Len()))
 
 	all, err := experiment.RunAll(s, *tsneIters)
 	if err != nil {
@@ -73,7 +87,7 @@ func main() {
 		if err := writeDataDir(s, all, *dataDir); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "figure data written to %s/\n", *dataDir)
+		slog.Info("figure data written", slog.String("dir", *dataDir))
 	}
 
 	if *verbose {

@@ -8,6 +8,7 @@
 //	hostprof similar    query nearest hostnames in embedding space
 //	hostprof export     dump embeddings in word2vec text format
 //	hostprof serve      run the profiling/ad back-end over HTTP
+//	hostprof report     post one traced session report to a running backend
 //
 // Every subcommand accepts -h for its flags. A typical session:
 //
@@ -44,6 +45,8 @@ func main() {
 		err = cmdExport(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "report":
+		err = cmdReport(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -67,5 +70,6 @@ commands:
   profile   profile a user session with a trained model
   similar   list nearest hostnames in embedding space
   export    dump a model in word2vec text format
-  serve     run the profiling/ad back-end over HTTP`)
+  serve     run the profiling/ad back-end over HTTP
+  report    post one traced session report to a running backend`)
 }

@@ -1,0 +1,196 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"hostprof/internal/obs/tracer"
+	"hostprof/internal/server"
+	"hostprof/internal/trace"
+)
+
+// cmdReport plays one round of the paper's extension against a running
+// `hostprof serve`: it posts a hostname report, receives the
+// replacement-ad answer (the server profiles the session en route) and,
+// because the client is traced, the whole exchange — client span, HTTP
+// handler, store and profiling stages, and any retrain it triggered —
+// shares one W3C trace ID. With -push-trace the client's half of the
+// trace is posted to the server's /debug/traces collector, so the
+// distributed trace can be read in one place; -print-trace dumps it to
+// stdout instead.
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8420", "backend base URL")
+	user := fs.Int("user", 0, "reporting user ID")
+	hostsArg := fs.String("hosts", "", "comma-separated hostnames to report")
+	tracePath := fs.String("trace", "", "draw the report from this trace JSONL instead of -hosts (the user's last -window seconds)")
+	window := fs.Int64("window", 1200, "session window in seconds with -trace")
+	at := fs.Int64("time", -1, "report timestamp in trace seconds (-1 = user's last visit with -trace, else wall clock)")
+	retrain := fs.Bool("retrain", false, "trigger a synchronous retrain before reporting")
+	seed := fs.Bool("seed", false, "with -trace: upload the whole trace as per-user daily reports first, so a fresh backend has a corpus to train on")
+	pushTrace := fs.Bool("push-trace", true, "push client spans to the server's /debug/traces so the distributed trace is complete there")
+	printTrace := fs.Bool("print-trace", false, "print the client-side trace JSON to stdout")
+	logf := addLogFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := logf.setup(); err != nil {
+		return err
+	}
+
+	now := *at
+	var hosts []string
+	var tr *trace.Trace
+	switch {
+	case *hostsArg != "":
+		for _, h := range strings.Split(*hostsArg, ",") {
+			if h = strings.TrimSpace(h); h != "" {
+				hosts = append(hosts, h)
+			}
+		}
+		if now < 0 {
+			now = time.Now().Unix()
+		}
+	case *tracePath != "":
+		tf, err := os.Open(*tracePath)
+		if err != nil {
+			return err
+		}
+		tr, err = trace.ReadJSONL(tf)
+		tf.Close()
+		if err != nil {
+			return err
+		}
+		if now < 0 {
+			for _, v := range tr.Visits() {
+				if v.User == *user {
+					now = v.Time
+				}
+			}
+			if now < 0 {
+				return fmt.Errorf("user %d has no visits in %s", *user, *tracePath)
+			}
+		}
+		hosts = tr.Session(*user, now, *window)
+		if len(hosts) == 0 {
+			return fmt.Errorf("user %d has no visits in the %ds window ending at t=%d", *user, *window, now)
+		}
+	default:
+		return fmt.Errorf("one of -hosts or -trace is required")
+	}
+
+	if *seed {
+		if tr == nil {
+			return fmt.Errorf("-seed requires -trace")
+		}
+		if err := seedBackend(*addr, tr); err != nil {
+			return err
+		}
+	}
+
+	// The CLI is always fully traced: one root span covers the whole
+	// invocation, and every backend call beneath it propagates the
+	// trace ID over traceparent.
+	trc := tracer.New(tracer.Config{Service: "hostprof-cli", SampleRate: 1, BufferTraces: 8})
+	ctx, root := trc.StartSpan(context.Background(), "cli.report")
+	ext := &server.Extension{BaseURL: *addr, User: *user, Tracer: trc}
+
+	if *retrain {
+		slog.InfoContext(ctx, "requesting retrain", slog.String("addr", *addr))
+		if err := ext.RetrainContext(ctx); err != nil {
+			root.Error(err)
+			root.End()
+			return err
+		}
+	}
+	slog.InfoContext(ctx, "reporting session",
+		slog.Int("user", *user), slog.Int("hosts", len(hosts)), slog.Int64("time", now))
+	ads, err := ext.ReportContext(ctx, now, hosts)
+	if err != nil {
+		root.Error(err)
+	}
+	root.End()
+
+	traceID := root.TraceIDString()
+	if *pushTrace {
+		var spans []tracer.SpanData
+		for _, tj := range trc.Traces() {
+			spans = append(spans, tj.Spans...)
+		}
+		if perr := ext.PushTrace(context.Background(), spans); perr != nil {
+			slog.Warn("trace push failed", slog.String("error", perr.Error()))
+		}
+	}
+	if *printTrace {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if jerr := enc.Encode(trc.Traces()); jerr != nil {
+			return jerr
+		}
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("trace %s: %d ads for user %d\n", traceID, len(ads), *user)
+	for _, ad := range ads {
+		fmt.Printf("  ad %d  %dx%d  %s\n", ad.ID, ad.W, ad.H, ad.Landing)
+	}
+	fmt.Printf("inspect: %s/debug/traces?trace=%s\n", *addr, traceID)
+	return nil
+}
+
+// seedBackend replays a trace into the backend as one report per user
+// per day, so a fresh server has a corpus before the demo's retrain.
+// These uploads are deliberately untraced setup noise, and a 503 from
+// the still-untrained model is expected (the visits land regardless).
+func seedBackend(addr string, tr *trace.Trace) error {
+	type bucket struct {
+		user int
+		day  int64
+	}
+	hosts := map[bucket][]string{}
+	last := map[bucket]int64{}
+	for _, v := range tr.Visits() {
+		b := bucket{v.User, v.Time / 86400}
+		hosts[b] = append(hosts[b], v.Host)
+		if v.Time > last[b] {
+			last[b] = v.Time
+		}
+	}
+	keys := make([]bucket, 0, len(hosts))
+	for b := range hosts {
+		keys = append(keys, b)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].user != keys[j].user {
+			return keys[i].user < keys[j].user
+		}
+		return keys[i].day < keys[j].day
+	})
+	seeder := &server.Extension{BaseURL: addr}
+	reports := 0
+	for _, b := range keys {
+		seeder.User = b.user
+		if _, err := seeder.Report(last[b], hosts[b]); err != nil {
+			var apiErr *server.APIError
+			if errors.As(err, &apiErr) && apiErr.Status == http.StatusServiceUnavailable {
+				reports++
+				continue // model not trained yet: visits still ingested
+			}
+			return fmt.Errorf("seeding user %d day %d: %w", b.user, b.day, err)
+		}
+		reports++
+	}
+	slog.Info("seeded backend", slog.Int("reports", reports), slog.Int("visits", tr.Len()))
+	return nil
+}

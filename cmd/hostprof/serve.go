@@ -5,6 +5,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -15,6 +16,7 @@ import (
 	"hostprof/internal/ads"
 	"hostprof/internal/core"
 	"hostprof/internal/obs"
+	"hostprof/internal/obs/tracer"
 	"hostprof/internal/ontology"
 	"hostprof/internal/server"
 	"hostprof/internal/store"
@@ -41,7 +43,14 @@ func cmdServe(args []string) error {
 	maxInflight := fs.Int("max-inflight-reports", 1024, "concurrent /v1/report requests before shedding with 429 (0 = unlimited)")
 	maxHosts := fs.Int("max-hosts-per-report", 1024, "hostnames accepted per report before rejecting with 400")
 	httpTimeout := fs.Duration("http-timeout", time.Minute, "HTTP read/write timeout (idle timeout is 4x this)")
+	traceSample := fs.Float64("trace-sample", 1, "request-trace head-sampling rate in [0,1]; errored traces are always kept; 0 disables tracing")
+	traceBuffer := fs.Int("trace-buffer", 256, "completed traces retained for /debug/traces")
+	slowReq := fs.Duration("slow-request", time.Second, "log one structured warning per request slower than this (negative disables)")
+	logf := addLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := logf.setup(); err != nil {
 		return err
 	}
 	if *ontPath == "" {
@@ -51,6 +60,12 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
+	trc := tracer.New(tracer.Config{
+		Service:      "hostprof-serve",
+		SampleRate:   *traceSample,
+		BufferTraces: *traceBuffer,
+		Metrics:      obs.Default,
+	})
 
 	tax := ontology.NewTaxonomy()
 	of, err := os.Open(*ontPath)
@@ -92,21 +107,11 @@ func cmdServe(args []string) error {
 		RetrainTimeout:     *retrainTimeout,
 		MaxInflightReports: *maxInflight,
 		MaxHostsPerReport:  *maxHosts,
+		Tracer:             trc,
+		SlowRequest:        *slowReq,
 	})
 	if err != nil {
 		return err
-	}
-	if *dataDir != "" {
-		rec := backend.Store().Recovery()
-		fmt.Printf("store: %s (fsync=%s); recovered %d snapshot visits + %d wal records",
-			*dataDir, fsyncPolicy, rec.SnapshotVisits, rec.ReplayedRecords)
-		if rec.TornTail {
-			fmt.Printf(" (torn final record dropped)")
-		}
-		if rec.ModelRestored {
-			fmt.Printf("; model restored — serving warm")
-		}
-		fmt.Println()
 	}
 
 	handler := backend.Handler()
@@ -121,11 +126,14 @@ func cmdServe(args []string) error {
 		handler = mux
 	}
 
-	fmt.Printf("backend: %d labelled hosts, %d ads; listening on http://%s\n",
-		ont.Len(), db.Len(), *addr)
-	fmt.Println("endpoints: POST /v1/report /v1/feedback /v1/retrain[?async=1]; GET /v1/stats /metrics /varz /healthz")
+	slog.Info("backend listening",
+		slog.String("addr", "http://"+*addr),
+		slog.Int("labelled_hosts", ont.Len()),
+		slog.Int("ads", db.Len()),
+		slog.Float64("trace_sample", *traceSample))
+	slog.Info("endpoints: POST /v1/report /v1/feedback /v1/retrain[?async=1]; GET /v1/stats /metrics /varz /healthz /debug/traces")
 	if *withPprof {
-		fmt.Println("profiling: GET /debug/pprof/")
+		slog.Info("profiling: GET /debug/pprof/")
 	}
 
 	// Serve until SIGTERM/SIGINT, then drain in-flight requests and shut
@@ -150,7 +158,7 @@ func cmdServe(args []string) error {
 		backend.Close()
 		return err
 	case <-ctx.Done():
-		fmt.Println("\nshutting down: draining requests, flushing store")
+		slog.Info("shutting down: draining requests, flushing store")
 		shCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 
 	"hostprof/internal/pcap"
@@ -16,8 +17,12 @@ func cmdSniff(args []string) error {
 	fs := flag.NewFlagSet("sniff", flag.ExitOnError)
 	in := fs.String("pcap", "", "input pcap file (required)")
 	out := fs.String("out", "-", "output trace JSONL ('-' for stdout)")
-	stats := fs.Bool("stats", true, "print observer statistics to stderr")
+	stats := fs.Bool("stats", true, "log observer statistics after extraction")
+	logf := addLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := logf.setup(); err != nil {
 		return err
 	}
 	if *in == "" {
@@ -63,9 +68,13 @@ func cmdSniff(args []string) error {
 	}
 	if *stats {
 		st := obs.Stats()
-		fmt.Fprintf(os.Stderr, "packets=%d tls=%d quic=%d dns=%d undecodable=%d flows=%d\n",
-			st.Packets, st.TLSVisits, st.QUICVisits, st.DNSVisits,
-			st.Undecodable, st.FlowsTracked)
+		slog.Info("observer statistics",
+			slog.Int64("packets", st.Packets),
+			slog.Int64("tls", st.TLSVisits),
+			slog.Int64("quic", st.QUICVisits),
+			slog.Int64("dns", st.DNSVisits),
+			slog.Int64("undecodable", st.Undecodable),
+			slog.Int64("flows", st.FlowsTracked))
 	}
 	return nil
 }

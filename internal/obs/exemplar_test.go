@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHistogramExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("req_seconds", []float64{1, 10})
+	h.ObserveExemplar(0.5, "aaaa")
+	h.Observe(5) // no trace: bucket counted, no exemplar
+	h.ObserveExemplar(100, "cccc")
+
+	if e := h.exemplar(0); e == nil || e.TraceID != "aaaa" || e.Value != 0.5 {
+		t.Fatalf("bucket 0 exemplar = %+v, want trace aaaa value 0.5", e)
+	}
+	if e := h.exemplar(1); e != nil {
+		t.Fatalf("untraced observation produced exemplar %+v", e)
+	}
+	if e := h.exemplar(2); e == nil || e.TraceID != "cccc" {
+		t.Fatalf("+Inf exemplar = %+v, want trace cccc", e)
+	}
+	// The newest traced observation replaces the bucket's exemplar.
+	h.ObserveExemplar(0.7, "bbbb")
+	if e := h.exemplar(0); e.TraceID != "bbbb" || e.Value != 0.7 {
+		t.Fatalf("exemplar not replaced: %+v", e)
+	}
+
+	var om, classic strings.Builder
+	if err := r.WriteOpenMetrics(&om); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&classic); err != nil {
+		t.Fatal(err)
+	}
+	wantLine := `req_seconds_bucket{le="1"} 2 # {trace_id="bbbb"} 0.7 `
+	if !strings.Contains(om.String(), wantLine) {
+		t.Fatalf("OpenMetrics output missing %q:\n%s", wantLine, om.String())
+	}
+	if !strings.HasSuffix(om.String(), "# EOF\n") {
+		t.Fatalf("OpenMetrics output missing # EOF terminator:\n%s", om.String())
+	}
+	// Classic scrapers must see neither exemplars nor the EOF marker.
+	if strings.Contains(classic.String(), "# {") || strings.Contains(classic.String(), "# EOF") {
+		t.Fatalf("Prometheus output leaked OpenMetrics syntax:\n%s", classic.String())
+	}
+
+	// The JSON snapshot carries the same exemplars.
+	for _, m := range r.Snapshot() {
+		if m.Name != "req_seconds" {
+			continue
+		}
+		if m.Buckets[0].Exemplar == nil || m.Buckets[0].Exemplar.TraceID != "bbbb" {
+			t.Fatalf("snapshot bucket exemplar = %+v", m.Buckets[0].Exemplar)
+		}
+		if m.Buckets[1].Exemplar != nil {
+			t.Fatalf("snapshot invented exemplar %+v", m.Buckets[1].Exemplar)
+		}
+	}
+}
+
+func TestMetricsHandlerContentNegotiation(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1})
+	h.ObserveExemplar(0.5, "dddd")
+
+	handler := r.MetricsHandler()
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	handler.ServeHTTP(rec, req)
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("default content type %q", ct)
+	}
+	if strings.Contains(rec.Body.String(), "trace_id") {
+		t.Fatal("default scrape leaked exemplars")
+	}
+
+	rec = httptest.NewRecorder()
+	req = httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text; version=1.0.0")
+	handler.ServeHTTP(rec, req)
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/openmetrics-text") {
+		t.Fatalf("negotiated content type %q", ct)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, `# {trace_id="dddd"}`) || !strings.HasSuffix(body, "# EOF\n") {
+		t.Fatalf("OpenMetrics scrape missing exemplar or EOF:\n%s", body)
+	}
+}

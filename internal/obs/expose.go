@@ -13,6 +13,19 @@ import (
 // a trailing +Inf. Callback gauges are evaluated without the registry
 // lock held.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.writeExposition(w, false)
+}
+
+// WriteOpenMetrics renders the registry in OpenMetrics-flavoured text:
+// the same families as WritePrometheus plus per-bucket trace-ID
+// exemplars (`# {trace_id="..."} value ts`) and a terminating # EOF.
+// Scrapers that negotiate application/openmetrics-text get this format
+// from MetricsHandler.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	return r.writeExposition(w, true)
+}
+
+func (r *Registry) writeExposition(w io.Writer, openMetrics bool) error {
 	ms, help := r.collect()
 	bw := bufio.NewWriter(w)
 	prev := ""
@@ -35,24 +48,54 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		switch m.kind {
 		case kindCounter:
 			writeSample(bw, m.name, "", m.labels, "", formatInt(m.counter.Value()))
+			bw.WriteByte('\n')
 		case kindGauge:
 			writeSample(bw, m.name, "", m.labels, "", formatFloat(m.gauge.Value()))
+			bw.WriteByte('\n')
 		case kindGaugeFunc:
 			writeSample(bw, m.name, "", m.labels, "", formatFloat(m.fn()))
+			bw.WriteByte('\n')
 		case kindHistogram:
 			h := m.hist
 			var cum int64
 			for i, ub := range h.upper {
 				cum += h.counts[i].Load()
 				writeSample(bw, m.name, "_bucket", m.labels, formatFloat(ub), formatInt(cum))
+				if openMetrics {
+					writeExemplar(bw, h.exemplar(i))
+				}
+				bw.WriteByte('\n')
 			}
 			// The +Inf bucket equals the total count by construction.
 			writeSample(bw, m.name, "_bucket", m.labels, "+Inf", formatInt(h.Count()))
+			if openMetrics {
+				writeExemplar(bw, h.exemplar(len(h.upper)))
+			}
+			bw.WriteByte('\n')
 			writeSample(bw, m.name, "_sum", m.labels, "", formatFloat(h.Sum()))
+			bw.WriteByte('\n')
 			writeSample(bw, m.name, "_count", m.labels, "", formatInt(h.Count()))
+			bw.WriteByte('\n')
 		}
 	}
+	if openMetrics {
+		bw.WriteString("# EOF\n")
+	}
 	return bw.Flush()
+}
+
+// writeExemplar appends an OpenMetrics exemplar clause to the current
+// bucket line: ` # {trace_id="..."} value timestamp`.
+func writeExemplar(bw *bufio.Writer, e *Exemplar) {
+	if e == nil {
+		return
+	}
+	bw.WriteString(` # {trace_id="`)
+	bw.WriteString(escapeLabel(e.TraceID))
+	bw.WriteString(`"} `)
+	bw.WriteString(formatFloat(e.Value))
+	bw.WriteByte(' ')
+	bw.WriteString(formatFloat(float64(e.UnixNano) / 1e9))
 }
 
 // writeSample emits one exposition line: name+suffix{labels[,le=le]} value.
@@ -82,7 +125,6 @@ func writeSample(bw *bufio.Writer, name, suffix string, labels []Label, le, valu
 	}
 	bw.WriteByte(' ')
 	bw.WriteString(value)
-	bw.WriteByte('\n')
 }
 
 func formatInt(v int64) string { return strconv.FormatInt(v, 10) }
@@ -105,6 +147,9 @@ func escapeHelp(s string) string { return helpEscaper.Replace(s) }
 type BucketSnapshot struct {
 	LE    float64 `json:"le"`
 	Count int64   `json:"count"`
+	// Exemplar is the bucket's most recent trace-linked observation,
+	// when one has been recorded.
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
 }
 
 // MetricSnapshot is one metric series in a point-in-time snapshot.
@@ -149,7 +194,7 @@ func (r *Registry) Snapshot() []MetricSnapshot {
 			var cum int64
 			for i, ub := range h.upper {
 				cum += h.counts[i].Load()
-				s.Buckets[i] = BucketSnapshot{LE: ub, Count: cum}
+				s.Buckets[i] = BucketSnapshot{LE: ub, Count: cum, Exemplar: h.exemplar(i)}
 			}
 		}
 		out = append(out, s)

@@ -3,12 +3,20 @@ package obs
 import (
 	"encoding/json"
 	"net/http"
+	"strings"
 )
 
 // MetricsHandler serves the registry in Prometheus text exposition
-// format (a /metrics endpoint).
+// format (a /metrics endpoint). Scrapers that accept
+// application/openmetrics-text get the OpenMetrics rendering instead,
+// which carries per-bucket trace-ID exemplars.
 func (r *Registry) MetricsHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if strings.Contains(req.Header.Get("Accept"), "application/openmetrics-text") {
+			w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+			_ = r.WriteOpenMetrics(w)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = r.WritePrometheus(w)
 	})

@@ -23,6 +23,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // A Label is one name/value pair attached to a metric.
@@ -93,19 +94,37 @@ func (g *Gauge) Value() float64 {
 	return math.Float64frombits(g.bits.Load())
 }
 
+// An Exemplar links one histogram observation to the trace that
+// produced it, so a slow bucket leads to a concrete request in
+// /debug/traces instead of an anonymous count.
+type Exemplar struct {
+	Value    float64 `json:"value"`
+	TraceID  string  `json:"trace_id"`
+	UnixNano int64   `json:"unix_nano"`
+}
+
 // A Histogram counts observations into fixed cumulative buckets and
 // tracks their sum, in the Prometheus histogram model. Buckets are
 // stored non-cumulatively and accumulated at exposition time, which
-// makes the exposed series monotone by construction.
+// makes the exposed series monotone by construction. Each bucket
+// retains the most recent trace-ID exemplar observed into it.
 type Histogram struct {
 	upper  []float64 // sorted upper bounds; implicit +Inf bucket follows
 	counts []atomic.Int64
+	ex     []atomic.Pointer[Exemplar] // one slot per bucket, last write wins
 	count  atomic.Int64
 	sum    Gauge
 }
 
 // Observe records one sample. Safe on a nil receiver.
 func (h *Histogram) Observe(v float64) {
+	h.ObserveExemplar(v, "")
+}
+
+// ObserveExemplar records one sample and, when traceID is non-empty,
+// stamps the sample's bucket with a trace exemplar. Safe on a nil
+// receiver.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
 	if h == nil {
 		return
 	}
@@ -114,7 +133,13 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[i].Add(1)
 	h.count.Add(1)
 	h.sum.Add(v)
+	if traceID != "" {
+		h.ex[i].Store(&Exemplar{Value: v, TraceID: traceID, UnixNano: time.Now().UnixNano()})
+	}
 }
+
+// exemplar returns bucket i's retained exemplar, or nil.
+func (h *Histogram) exemplar(i int) *Exemplar { return h.ex[i].Load() }
 
 // Count returns the total number of observations. Safe on a nil
 // receiver.
@@ -293,6 +318,7 @@ func (r *Registry) lookup(name string, labels []Label, kind metricKind, arg any)
 		m.hist = &Histogram{
 			upper:  upper,
 			counts: make([]atomic.Int64, len(upper)+1),
+			ex:     make([]atomic.Pointer[Exemplar], len(upper)+1),
 		}
 	}
 	r.metrics[key] = m

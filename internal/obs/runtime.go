@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memStatsSampler caches runtime.ReadMemStats reads so one scrape of
+// several heap gauges pays for a single (stop-the-world) collection,
+// and back-to-back scrapes within a second share it.
+type memStatsSampler struct {
+	mu   sync.Mutex
+	at   time.Time
+	stat runtime.MemStats
+}
+
+func (s *memStatsSampler) read() runtime.MemStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if now := time.Now(); now.Sub(s.at) > time.Second {
+		runtime.ReadMemStats(&s.stat)
+		s.at = now
+	}
+	return s.stat
+}
+
+// RegisterRuntimeMetrics registers process introspection gauges on r:
+// goroutine count, heap in use, cumulative GC pause time, GC cycles and
+// GOMAXPROCS. Values are sampled at scrape time; memory statistics are
+// cached for a second across gauges. Registering twice (e.g. two
+// backends sharing one registry) is safe — the callbacks are simply
+// replaced. Safe on a nil *Registry.
+func RegisterRuntimeMetrics(r *Registry) {
+	if r == nil {
+		return
+	}
+	s := &memStatsSampler{}
+	r.Describe("hostprof_go_goroutines", "goroutines currently live in the process")
+	r.GaugeFunc("hostprof_go_goroutines", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	r.Describe("hostprof_go_gomaxprocs", "GOMAXPROCS: OS threads usable for Go code")
+	r.GaugeFunc("hostprof_go_gomaxprocs", func() float64 {
+		return float64(runtime.GOMAXPROCS(0))
+	})
+	r.Describe("hostprof_go_heap_inuse_bytes", "bytes in in-use heap spans")
+	r.GaugeFunc("hostprof_go_heap_inuse_bytes", func() float64 {
+		return float64(s.read().HeapInuse)
+	})
+	r.Describe("hostprof_go_gc_pause_seconds_total", "cumulative stop-the-world GC pause time")
+	r.GaugeFunc("hostprof_go_gc_pause_seconds_total", func() float64 {
+		return float64(s.read().PauseTotalNs) / 1e9
+	})
+	r.Describe("hostprof_go_gc_runs_total", "completed GC cycles")
+	r.GaugeFunc("hostprof_go_gc_runs_total", func() float64 {
+		return float64(s.read().NumGC)
+	})
+}

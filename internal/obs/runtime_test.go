@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegisterRuntimeMetrics(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r)
+	RegisterRuntimeMetrics(r) // idempotent: re-registration must not panic
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, name := range []string{
+		"hostprof_go_goroutines",
+		"hostprof_go_gomaxprocs",
+		"hostprof_go_heap_inuse_bytes",
+		"hostprof_go_gc_pause_seconds_total",
+		"hostprof_go_gc_runs_total",
+	} {
+		if !strings.Contains(out, name+" ") {
+			t.Errorf("runtime metric %s missing from exposition", name)
+		}
+	}
+	// The process has at least one goroutine and a positive GOMAXPROCS.
+	for _, m := range r.Snapshot() {
+		switch m.Name {
+		case "hostprof_go_goroutines", "hostprof_go_gomaxprocs", "hostprof_go_heap_inuse_bytes":
+			if m.Value <= 0 {
+				t.Errorf("%s = %v, want > 0", m.Name, m.Value)
+			}
+		}
+	}
+	RegisterRuntimeMetrics(nil) // nil registry is a no-op
+}

@@ -1,0 +1,79 @@
+package tracer
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// ctxHandler decorates a slog.Handler so every record logged with a
+// span-carrying context is stamped with trace_id/span_id — the join key
+// between logs and /debug/traces.
+type ctxHandler struct {
+	inner slog.Handler
+}
+
+// WithTraceIDs wraps h so records carry trace_id/span_id attributes
+// whenever their context holds a live span.
+func WithTraceIDs(h slog.Handler) slog.Handler { return ctxHandler{inner: h} }
+
+func (h ctxHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h ctxHandler) Handle(ctx context.Context, r slog.Record) error {
+	if s := FromContext(ctx); s != nil {
+		r.AddAttrs(
+			slog.String("trace_id", s.TraceIDString()),
+			slog.String("span_id", s.SpanID().String()),
+		)
+	}
+	return h.inner.Handle(ctx, r)
+}
+
+func (h ctxHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return ctxHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h ctxHandler) WithGroup(name string) slog.Handler {
+	return ctxHandler{inner: h.inner.WithGroup(name)}
+}
+
+// ParseLevel parses a -log-level flag value ("debug", "info", "warn",
+// "error").
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", s)
+}
+
+// NewLogger builds a trace-aware slog.Logger writing to w in the given
+// format ("text" or "json") at the given level, with trace_id/span_id
+// stamped from the logging context.
+func NewLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	lv, err := ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	switch strings.ToLower(format) {
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	case "text", "":
+		h = slog.NewTextHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want text or json)", format)
+	}
+	return slog.New(WithTraceIDs(h)), nil
+}

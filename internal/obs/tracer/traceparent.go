@@ -1,0 +1,68 @@
+package tracer
+
+import "encoding/hex"
+
+// SpanContext is the cross-process half of a span: what a traceparent
+// header carries.
+type SpanContext struct {
+	Trace   TraceID
+	Span    SpanID
+	Sampled bool
+}
+
+// FormatTraceparent renders sc as a W3C Trace Context traceparent
+// header value (version 00):
+//
+//	00-<32 hex trace id>-<16 hex span id>-<2 hex flags>
+func FormatTraceparent(sc SpanContext) string {
+	b := make([]byte, 0, 55)
+	b = append(b, "00-"...)
+	b = hex.AppendEncode(b, sc.Trace[:])
+	b = append(b, '-')
+	b = hex.AppendEncode(b, sc.Span[:])
+	if sc.Sampled {
+		b = append(b, "-01"...)
+	} else {
+		b = append(b, "-00"...)
+	}
+	return string(b)
+}
+
+// ParseTraceparent parses a traceparent header value. It accepts any
+// non-ff version (per spec, unknown versions are parsed as version 00
+// when the tail matches) and rejects all-zero trace or span IDs. The
+// boolean result is false for anything malformed — callers should then
+// proceed as if no header were present.
+func ParseTraceparent(s string) (SpanContext, bool) {
+	// version(2) - traceid(32) - spanid(16) - flags(2)
+	if len(s) < 55 || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return SpanContext{}, false
+	}
+	if len(s) > 55 && s[55] != '-' {
+		// Future versions may append fields, but only '-'-separated.
+		return SpanContext{}, false
+	}
+	var ver [1]byte
+	if _, err := hex.Decode(ver[:], []byte(s[0:2])); err != nil || ver[0] == 0xff {
+		return SpanContext{}, false
+	}
+	if ver[0] == 0 && len(s) != 55 {
+		return SpanContext{}, false
+	}
+	var sc SpanContext
+	if _, err := hex.Decode(sc.Trace[:], []byte(s[3:35])); err != nil {
+		return SpanContext{}, false
+	}
+	if _, err := hex.Decode(sc.Span[:], []byte(s[36:52])); err != nil {
+		return SpanContext{}, false
+	}
+	var flags [1]byte
+	if _, err := hex.Decode(flags[:], []byte(s[53:55])); err != nil {
+		return SpanContext{}, false
+	}
+	if sc.Trace.IsZero() || sc.Span.IsZero() {
+		return SpanContext{}, false
+	}
+	sc.Sampled = flags[0]&0x01 != 0
+	return sc, true
+}

@@ -2,10 +2,13 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+
+	"hostprof/internal/obs/tracer"
 )
 
 // Extension is the client side of the experiment: the paper's Chrome
@@ -20,6 +23,10 @@ type Extension struct {
 	User int
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
+	// Tracer, when non-nil and enabled, wraps every call in a client
+	// span and sends a W3C traceparent header, so the backend's handler
+	// spans join the client's trace.
+	Tracer *tracer.Tracer
 }
 
 func (e *Extension) client() *http.Client {
@@ -30,17 +37,36 @@ func (e *Extension) client() *http.Client {
 }
 
 // post sends a JSON body and decodes a JSON response into out (nil out
-// accepts 2xx with any body).
-func (e *Extension) post(path string, in, out any) error {
+// accepts 2xx with any body). The call is wrapped in a span named op
+// and carries the span's traceparent.
+func (e *Extension) post(ctx context.Context, op, path string, in, out any) error {
+	ctx, span := e.Tracer.StartSpan(ctx, op)
+	defer span.End()
+	span.SetAttr("path", path)
 	body, err := json.Marshal(in)
 	if err != nil {
-		return fmt.Errorf("server client: encoding %s: %w", path, err)
+		err = fmt.Errorf("server client: encoding %s: %w", path, err)
+		span.Error(err)
+		return err
 	}
-	resp, err := e.client().Post(e.BaseURL+path, "application/json", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, e.BaseURL+path, bytes.NewReader(body))
 	if err != nil {
-		return fmt.Errorf("server client: %s: %w", path, err)
+		err = fmt.Errorf("server client: %s: %w", path, err)
+		span.Error(err)
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tp := span.Traceparent(); tp != "" {
+		req.Header.Set("traceparent", tp)
+	}
+	resp, err := e.client().Do(req)
+	if err != nil {
+		err = fmt.Errorf("server client: %s: %w", path, err)
+		span.Error(err)
+		return err
 	}
 	defer resp.Body.Close()
+	span.SetAttr("code", fmt.Sprint(resp.StatusCode))
 	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
 		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		apiErr := &APIError{Status: resp.StatusCode}
@@ -55,13 +81,16 @@ func (e *Extension) post(path string, in, out any) error {
 		if ra := resp.Header.Get("Retry-After"); ra != "" {
 			apiErr.RetryAfter = ra
 		}
+		span.Error(apiErr)
 		return apiErr
 	}
 	if out == nil {
 		return nil
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("server client: decoding %s: %w", path, err)
+		err = fmt.Errorf("server client: decoding %s: %w", path, err)
+		span.Error(err)
+		return err
 	}
 	return nil
 }
@@ -84,8 +113,17 @@ func (e *APIError) Error() string {
 // the backend's replacement-ad list (empty when the backend cannot
 // profile the session yet).
 func (e *Extension) Report(now int64, hosts []string) ([]WireAd, error) {
+	return e.ReportContext(context.Background(), now, hosts)
+}
+
+// ReportContext is Report under a caller context: cancellation applies
+// to the HTTP exchange, and a span carried by ctx becomes the parent of
+// the client span (and, through traceparent, of the server's handler
+// span).
+func (e *Extension) ReportContext(ctx context.Context, now int64, hosts []string) ([]WireAd, error) {
 	var resp ReportResponse
-	err := e.post("/v1/report", ReportRequest{User: e.User, Time: now, Hosts: hosts}, &resp)
+	err := e.post(ctx, "client.report", "/v1/report",
+		ReportRequest{User: e.User, Time: now, Hosts: hosts}, &resp)
 	if err != nil {
 		return nil, err
 	}
@@ -94,7 +132,12 @@ func (e *Extension) Report(now int64, hosts []string) ([]WireAd, error) {
 
 // Feedback reports one displayed ad and whether it was clicked.
 func (e *Extension) Feedback(adID int, source string, clicked bool) error {
-	return e.post("/v1/feedback", FeedbackRequest{
+	return e.FeedbackContext(context.Background(), adID, source, clicked)
+}
+
+// FeedbackContext is Feedback under a caller context.
+func (e *Extension) FeedbackContext(ctx context.Context, adID int, source string, clicked bool) error {
+	return e.post(ctx, "client.feedback", "/v1/feedback", FeedbackRequest{
 		User: e.User, AdID: adID, Source: source, Clicked: clicked,
 	}, nil)
 }
@@ -104,19 +147,59 @@ func (e *Extension) Feedback(adID int, source string, clicked bool) error {
 // until the retrain — possibly one already in flight that this request
 // joined — finishes.
 func (e *Extension) Retrain() error {
-	return e.post("/v1/retrain", struct{}{}, nil)
+	return e.RetrainContext(context.Background())
+}
+
+// RetrainContext is Retrain under a caller context.
+func (e *Extension) RetrainContext(ctx context.Context) error {
+	return e.post(ctx, "client.retrain", "/v1/retrain", struct{}{}, nil)
 }
 
 // RetrainAsync kicks off a background retrain and returns as soon as the
 // backend accepts it (202). Poll Stats().Trained or the
 // hostprof_retrain_state gauge for completion.
 func (e *Extension) RetrainAsync() error {
-	return e.post("/v1/retrain?async=1", struct{}{}, nil)
+	return e.post(context.Background(), "client.retrain_async", "/v1/retrain?async=1", struct{}{}, nil)
+}
+
+// PushTrace posts locally captured span records to the backend's
+// /debug/traces collector, so a distributed trace can be inspected in
+// one place. Spans keep their trace IDs; the server merges them with
+// its own half of each trace.
+func (e *Extension) PushTrace(ctx context.Context, spans []tracer.SpanData) error {
+	body, err := json.Marshal(map[string][]tracer.SpanData{"spans": spans})
+	if err != nil {
+		return fmt.Errorf("server client: encoding spans: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		e.BaseURL+"/debug/traces", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("server client: pushing trace: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := e.client().Do(req)
+	if err != nil {
+		return fmt.Errorf("server client: pushing trace: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return &APIError{Status: resp.StatusCode, Message: "trace push rejected"}
+	}
+	return nil
 }
 
 // Stats fetches the backend's aggregate statistics.
 func (e *Extension) Stats() (Stats, error) {
-	resp, err := e.client().Get(e.BaseURL + "/v1/stats")
+	return e.StatsContext(context.Background())
+}
+
+// StatsContext is Stats under a caller context.
+func (e *Extension) StatsContext(ctx context.Context) (Stats, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, e.BaseURL+"/v1/stats", nil)
+	if err != nil {
+		return Stats{}, fmt.Errorf("server client: stats: %w", err)
+	}
+	resp, err := e.client().Do(req)
 	if err != nil {
 		return Stats{}, fmt.Errorf("server client: stats: %w", err)
 	}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"sort"
@@ -69,7 +70,7 @@ func TestBackendCrashRecovery(t *testing.T) {
 	visits := pop.Browse().Visits()
 	half := len(visits) / 2
 	for _, v := range visits[:half] {
-		if _, err := b.report(v.User, v.Time, []string{v.Host}); err != nil && err != errNotTrained {
+		if _, err := b.report(context.Background(), v.User, v.Time, []string{v.Host}); err != nil && err != errNotTrained {
 			t.Fatalf("report: %v", err)
 		}
 	}
@@ -80,7 +81,7 @@ func TestBackendCrashRecovery(t *testing.T) {
 		// The visit is appended before profiling, so profiler errors on
 		// sparse single-host sessions (no labelled neighbour reachable)
 		// still leave the store updated.
-		if _, err := b.report(v.User, v.Time, []string{v.Host}); err != nil &&
+		if _, err := b.report(context.Background(), v.User, v.Time, []string{v.Host}); err != nil &&
 			!errors.Is(err, core.ErrNoLabels) && !errors.Is(err, core.ErrEmptySession) {
 			t.Fatalf("report after retrain: %v", err)
 		}
@@ -130,7 +131,7 @@ func TestBackendCrashRecovery(t *testing.T) {
 	// errNotTrained would betray a cold start; sparse-session profiler
 	// errors are fine.
 	v0 := visits[len(visits)-1]
-	if _, err := b2.report(v0.User, v0.Time+60, []string{v0.Host}); errors.Is(err, errNotTrained) {
+	if _, err := b2.report(context.Background(), v0.User, v0.Time+60, []string{v0.Host}); errors.Is(err, errNotTrained) {
 		t.Fatal("warm backend claims not trained")
 	}
 }
@@ -141,7 +142,7 @@ func TestBackendGracefulClose(t *testing.T) {
 	dir := t.TempDir()
 	b := newDurableBackend(t, dir, nil)
 	for i := 0; i < 20; i++ {
-		if _, err := b.report(1, int64(i), []string{"graceful.example"}); err != nil && err != errNotTrained {
+		if _, err := b.report(context.Background(), 1, int64(i), []string{"graceful.example"}); err != nil && err != errNotTrained {
 			t.Fatal(err)
 		}
 	}

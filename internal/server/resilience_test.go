@@ -359,6 +359,9 @@ func TestServerDegradedStoreKeepsServing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Stop the reprobe goroutine before TempDir cleanup: a probe landing
+	// mid-RemoveAll recreates WAL files and fails the cleanup.
+	t.Cleanup(func() { st.Close() })
 	fx := newResilienceFixture(t, func(cfg *Config) {
 		cfg.Metrics = reg
 		cfg.Store = st

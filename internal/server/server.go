@@ -15,8 +15,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -26,6 +28,7 @@ import (
 	"hostprof/internal/fault"
 	"hostprof/internal/flight"
 	"hostprof/internal/obs"
+	"hostprof/internal/obs/tracer"
 	"hostprof/internal/ontology"
 	"hostprof/internal/store"
 	"hostprof/internal/trace"
@@ -79,6 +82,19 @@ type Config struct {
 	// MaxHostsPerReport rejects reports carrying more hostnames (400),
 	// bounding per-request work and WAL amplification. Default 1024.
 	MaxHostsPerReport int
+	// Tracer, when non-nil, gives every request a span tree: handler
+	// spans join incoming W3C traceparent contexts, and store, profile
+	// and retrain work become child spans. Completed traces surface at
+	// /debug/traces on the backend handler. Nil (or a disabled tracer)
+	// costs a nil check per instrumentation point.
+	Tracer *tracer.Tracer
+	// SlowRequest is the latency past which a request emits one
+	// structured warning with its trace ID and stage breakdown.
+	// Default 1s; negative disables the slow-request log.
+	SlowRequest time.Duration
+	// Logger receives the backend's structured logs (retrain outcomes,
+	// slow requests). Nil selects slog.Default().
+	Logger *slog.Logger
 }
 
 // Backend is the profiling/ad server. All methods are safe for
@@ -87,6 +103,8 @@ type Backend struct {
 	cfg Config
 	reg *obs.Registry
 	met backendMetrics
+	tr  *tracer.Tracer
+	log *slog.Logger
 
 	store *store.Store
 
@@ -166,6 +184,12 @@ func New(cfg Config) (*Backend, error) {
 	if cfg.MaxHostsPerReport <= 0 {
 		cfg.MaxHostsPerReport = 1024
 	}
+	if cfg.SlowRequest == 0 {
+		cfg.SlowRequest = time.Second
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
 	sel, err := ads.NewSelector(cfg.AdDB, cfg.Ontology, 20)
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
@@ -174,6 +198,7 @@ func New(cfg Config) (*Backend, error) {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	obs.RegisterRuntimeMetrics(reg)
 	st := cfg.Store
 	if st == nil {
 		st, err = store.Open(store.Config{
@@ -190,6 +215,8 @@ func New(cfg Config) (*Backend, error) {
 		cfg:         cfg,
 		reg:         reg,
 		met:         newBackendMetrics(reg),
+		tr:          cfg.Tracer,
+		log:         cfg.Logger,
 		store:       st,
 		selector:    sel,
 		impressions: make(map[string]int64),
@@ -283,13 +310,20 @@ func (b *Backend) retrainRun(ctx context.Context) error {
 		ctx, cancel = context.WithTimeout(ctx, b.cfg.RetrainTimeout)
 		defer cancel()
 	}
+	// The retrain span is a child of whatever request started the run
+	// (flight preserves context values), so a stalled profile request
+	// traces through to the epoch that held it up.
+	ctx, tsp := b.tr.StartSpan(ctx, "train.retrain")
+	defer tsp.End()
 	corpus := b.store.AllSequences()
+	tsp.SetAttr("sequences", strconv.Itoa(len(corpus)))
 	tc := b.cfg.Train
 	user := tc.Progress
 	tc.Progress = func(e core.EpochStats) {
 		b.met.epochs.Inc()
 		b.met.epochSeconds.Observe(e.Duration.Seconds())
 		b.met.epochLoss.Set(e.Loss)
+		tsp.Event(fmt.Sprintf("epoch %d: loss=%.4f dur=%s", e.Epoch, e.Loss, e.Duration.Round(time.Millisecond)))
 		if user != nil {
 			user(e)
 		}
@@ -298,12 +332,21 @@ func (b *Backend) retrainRun(ctx context.Context) error {
 	// failures remain visible in hostprof_retrain_seconds.
 	sp := obs.StartSpan(b.met.retrainSeconds)
 	model, err := core.TrainContext(ctx, corpus, tc)
-	sp.End()
+	d := sp.End()
 	if err != nil {
 		b.met.retrainErrors.Inc()
+		tsp.Error(err)
+		b.log.LogAttrs(ctx, slog.LevelWarn, "retrain failed",
+			slog.Int("sequences", len(corpus)),
+			slog.Duration("elapsed", d),
+			slog.String("error", err.Error()))
 		return fmt.Errorf("server: retrain: %w", err)
 	}
 	b.met.retrains.Inc()
+	b.log.LogAttrs(ctx, slog.LevelInfo, "retrain complete",
+		slog.Int("sequences", len(corpus)),
+		slog.Int("vocab", model.Vocab().Len()),
+		slog.Duration("elapsed", d))
 	prof := core.NewProfiler(model, b.cfg.Ontology, b.cfg.Profile)
 	b.mu.Lock()
 	b.profiler = prof
@@ -319,13 +362,15 @@ func (b *Backend) retrainRun(ctx context.Context) error {
 // list for the user's current profile. Visits go straight into the
 // sharded store — concurrent reports from different users contend only
 // on the WAL, never on a backend-wide lock.
-func (b *Backend) report(userID int, now int64, hosts []string) ([]ads.Ad, error) {
+func (b *Backend) report(ctx context.Context, userID int, now int64, hosts []string) ([]ads.Ad, error) {
 	b.met.reports.Inc()
 	// Ingest every non-blocklisted host before surfacing any error, so a
 	// failure on host N doesn't silently drop hosts N+1..end: the stored
 	// prefix+suffix matches what the store accepted, and the client's
 	// retry (the whole report) is then a harmless duplicate-free replay
 	// of the failed entries only in the degraded-store sense.
+	_, isp := b.tr.StartSpan(ctx, "store.ingest")
+	isp.SetAttr("hosts", strconv.Itoa(len(hosts)))
 	var appendErr error
 	for i, h := range hosts {
 		if b.cfg.Blocklist != nil && b.cfg.Blocklist.Contains(h) {
@@ -342,10 +387,15 @@ func (b *Backend) report(userID int, now int64, hosts []string) ([]ads.Ad, error
 		}
 		b.met.reportHosts.Inc()
 	}
+	isp.Error(appendErr)
+	isp.End()
 	if appendErr != nil {
 		return nil, appendErr
 	}
+	_, ssp := b.tr.StartSpan(ctx, "store.session")
 	session := b.store.Session(userID, now, b.cfg.SessionWindow)
+	ssp.SetAttr("session_hosts", strconv.Itoa(len(session)))
+	ssp.End()
 	b.mu.Lock()
 	prof := b.profiler
 	b.mu.Unlock()
@@ -353,15 +403,24 @@ func (b *Backend) report(userID int, now int64, hosts []string) ([]ads.Ad, error
 	if prof == nil {
 		return nil, errNotTrained
 	}
+	_, psp := b.tr.StartSpan(ctx, "profile")
 	sp := obs.StartSpan(b.met.profileSeconds)
 	profile, err := prof.ProfileSession(session)
 	sp.End()
 	if err != nil {
+		// Empty or unlabelled sessions are expected outcomes; only
+		// genuine failures mark the trace errored in the handler above.
+		psp.SetAttr("outcome", err.Error())
+		psp.End()
 		return nil, err
 	}
+	psp.End()
+	_, asp := b.tr.StartSpan(ctx, "ads.select")
 	b.mu.Lock()
 	list := b.selector.Select(profile, b.cfg.AdsPerReport)
 	b.mu.Unlock()
+	asp.SetAttr("ads", strconv.Itoa(len(list)))
+	asp.End()
 	return list, nil
 }
 
@@ -501,6 +560,9 @@ func (b *Backend) Handler() http.Handler {
 	mux.Handle("GET /metrics", b.reg.MetricsHandler())
 	mux.Handle("GET /varz", b.reg.VarzHandler())
 	mux.Handle("GET /healthz", obs.HealthzHandler(b.Ready))
+	if b.tr.Enabled() {
+		mux.Handle("/debug/traces", b.tr.Handler())
+	}
 	return mux
 }
 
@@ -525,30 +587,79 @@ func (w *statusRecorder) Write(p []byte) (int, error) {
 }
 
 // instrument wraps an endpoint handler with a per-endpoint latency
-// histogram, a per-(endpoint, code) request counter, and panic
-// containment: a panicking handler becomes a 500 (when nothing has been
-// written yet) instead of tearing down the connection, and is counted in
-// hostprof_http_panics_total.
+// histogram, a per-(endpoint, code) request counter, request tracing
+// and panic containment: a panicking handler becomes a 500 (when
+// nothing has been written yet) instead of tearing down the connection,
+// and is counted in hostprof_http_panics_total.
+//
+// With tracing enabled the handler span joins an incoming W3C
+// traceparent (so a traced client and this server share one trace ID),
+// the latency histogram gets a trace-ID exemplar, and requests slower
+// than Config.SlowRequest emit one structured warning carrying the
+// trace ID and the per-stage breakdown. With tracing disabled all of
+// that collapses to nil checks — no allocation on the request path.
 func (b *Backend) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	lat := b.reg.Histogram("hostprof_http_request_seconds", nil, obs.L("endpoint", endpoint))
 	return func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
-		sp := obs.StartSpan(lat)
+		start := time.Now()
+		var span *tracer.Span
+		if b.tr.Enabled() {
+			ctx := r.Context()
+			if sc, ok := tracer.ParseTraceparent(r.Header.Get("traceparent")); ok {
+				ctx = tracer.ContextWithRemote(ctx, sc)
+			}
+			ctx, span = b.tr.StartSpan(ctx, "http."+endpoint)
+			span.SetAttr("endpoint", endpoint)
+			r = r.WithContext(ctx)
+		}
 		defer func() {
-			sp.End()
+			d := time.Since(start)
 			if p := recover(); p != nil {
 				b.met.panics.Inc()
 				rec.code = http.StatusInternalServerError
 				if !rec.wrote {
 					writeError(rec, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", p))
 				}
+				span.Error(fmt.Errorf("panic: %v", p))
+			} else if rec.code >= 500 {
+				span.Error(fmt.Errorf("HTTP %d", rec.code))
 			}
+			lat.ObserveExemplar(d.Seconds(), span.TraceIDString())
+			span.SetAttr("code", strconv.Itoa(rec.code))
+			span.End()
 			b.reg.Counter("hostprof_http_requests_total",
 				obs.L("endpoint", endpoint),
 				obs.L("code", strconv.Itoa(rec.code))).Inc()
+			if b.cfg.SlowRequest > 0 && d >= b.cfg.SlowRequest {
+				b.log.LogAttrs(r.Context(), slog.LevelWarn, "slow request",
+					slog.String("endpoint", endpoint),
+					slog.Int("code", rec.code),
+					slog.Duration("elapsed", d),
+					slog.String("stages", formatStages(span.Stages())))
+			}
 		}()
 		h(rec, r)
 	}
+}
+
+// formatStages renders a span's child durations as a compact breakdown
+// ("store.ingest=1.2ms profile=840ms"); "-" when tracing is off or no
+// stage completed.
+func formatStages(stages []tracer.Stage) string {
+	if len(stages) == 0 {
+		return "-"
+	}
+	var sb strings.Builder
+	for i, st := range stages {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(st.Name)
+		sb.WriteByte('=')
+		sb.WriteString(st.Duration.Round(time.Microsecond).String())
+	}
+	return sb.String()
 }
 
 // admit is the /v1/report overload gate: beyond MaxInflightReports
@@ -637,7 +748,7 @@ func (b *Backend) handleReport(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "time must be non-negative")
 		return
 	}
-	list, err := b.report(req.User, req.Time, req.Hosts)
+	list, err := b.report(r.Context(), req.User, req.Time, req.Hosts)
 	switch {
 	case errors.Is(err, errNotTrained):
 		writeError(w, http.StatusServiceUnavailable, err.Error())
@@ -699,7 +810,12 @@ func (b *Backend) handleRetrain(w http.ResponseWriter, r *http.Request) {
 	// Synchronous mode: the wait is bound to the request context (a
 	// dropped client stops waiting), but the run itself is detached so a
 	// disconnect cannot abort training that other callers joined.
-	_, err := b.retrains.Do(r.Context(), context.WithoutCancel(r.Context()), b.retrainRun)
+	leader, err := b.retrains.Do(r.Context(), context.WithoutCancel(r.Context()), b.retrainRun)
+	if sp := tracer.FromContext(r.Context()); sp != nil {
+		// Joiners attached to an in-flight run carry that on their
+		// trace: the retrain span lives in the leader's trace.
+		sp.SetAttr("retrain_leader", strconv.FormatBool(leader))
+	}
 	switch {
 	case err == nil:
 		w.WriteHeader(http.StatusNoContent)

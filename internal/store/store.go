@@ -26,6 +26,7 @@ package store
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/bits"
 	"os"
 	"sort"
@@ -103,9 +104,15 @@ type Config struct {
 	// Metrics, when non-nil, is the registry the store exports into
 	// (hostprof_store_* names; see internal/obs).
 	Metrics *obs.Registry
+	// Logger receives the store's structured logs (recovery summary,
+	// degraded-mode transitions). Nil selects slog.Default().
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
 	if c.Shards <= 0 {
 		c.Shards = 16
 	}
@@ -212,6 +219,13 @@ func Open(cfg Config) (*Store, error) {
 	if err := s.recover(); err != nil {
 		return nil, err
 	}
+	cfg.Logger.Info("store recovered",
+		slog.String("dir", cfg.Dir),
+		slog.String("fsync", cfg.Fsync.String()),
+		slog.Int("snapshot_visits", s.rec.SnapshotVisits),
+		slog.Int("wal_records", s.rec.ReplayedRecords),
+		slog.Bool("torn_tail", s.rec.TornTail),
+		slog.Bool("model_restored", s.rec.ModelRestored))
 	if cfg.Fsync == FsyncInterval {
 		s.wg.Add(1)
 		go s.fsyncLoop()
@@ -329,6 +343,7 @@ func (s *Store) degrade() {
 		return
 	}
 	s.degraded.Store(true)
+	s.cfg.Logger.Warn("store degraded: WAL append failed, serving memory-only until re-attach")
 	s.wg.Add(1)
 	go s.reprobeLoop()
 }
@@ -351,8 +366,13 @@ func (s *Store) reprobeLoop() {
 		if err := s.wal.reattach(); err == nil {
 			s.degraded.Store(false)
 			s.met.walReattaches.Inc()
+			s.cfg.Logger.Info("store WAL re-attached, durability restored")
 			s.Snapshot() // best effort; failures count in snapshot_errors_total
 			return
+		} else {
+			s.cfg.Logger.Debug("store WAL re-attach probe failed",
+				slog.String("error", err.Error()),
+				slog.Duration("next_probe", backoff))
 		}
 		s.met.appendErrors.Inc()
 		s.met.walProbeFailures.Inc()

@@ -9,6 +9,7 @@ import (
 	"hostprof/internal/core"
 	"hostprof/internal/flight"
 	"hostprof/internal/obs"
+	"hostprof/internal/obs/tracer"
 	"hostprof/internal/sniffer"
 	"hostprof/internal/store"
 )
@@ -44,6 +45,10 @@ type PipelineConfig struct {
 	// is cancelled at the next epoch boundary and the retrain fails with
 	// context.DeadlineExceeded. Zero means no deadline.
 	RetrainTimeout time.Duration
+	// Tracer, when non-nil and enabled, records retrain and profiling
+	// spans; a span carried by the caller's context becomes their
+	// parent. Nil costs a nil check per operation.
+	Tracer *tracer.Tracer
 }
 
 // Pipeline is the end-to-end eavesdropper: packets in, profiles and ads
@@ -234,11 +239,15 @@ func (p *Pipeline) retrain(ctx context.Context, corpus func() [][]string, label 
 			runCtx, cancel = context.WithTimeout(runCtx, p.cfg.RetrainTimeout)
 			defer cancel()
 		}
+		runCtx, tsp := p.cfg.Tracer.StartSpan(runCtx, "train.retrain")
+		tsp.SetAttr("label", label)
+		defer tsp.End()
 		sp := obs.StartSpan(p.met.retrainSeconds)
 		model, err := core.TrainContext(runCtx, corpus(), p.trainConfig())
 		sp.End()
 		if err != nil {
 			p.met.retrainErrors.Inc()
+			tsp.Error(err)
 			return fmt.Errorf("hostprof: %s: %w", label, err)
 		}
 		p.met.retrains.Inc()
