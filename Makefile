@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race chaos bench bench-json fuzz ci experiments experiments-small examples trace-demo clean
+.PHONY: all build test vet race chaos bench bench-json fuzz cover ci experiments experiments-small examples trace-demo clean
 
 all: vet test build
 
@@ -29,6 +29,17 @@ bench:
 bench-json:
 	$(GO) test -bench=. -benchmem -benchtime 1x -run '^$$' . | $(GO) run ./cmd/benchjson > BENCH_results.json
 	@echo wrote BENCH_results.json
+
+# Statement-coverage floor over the profiling core and the serving
+# index (the equivalence harness is the main consumer). CI runs the
+# same; raise COVER_FLOOR as the suites grow.
+COVER_FLOOR ?= 85.0
+cover:
+	$(GO) test -coverprofile=coverage.out ./internal/core ./internal/index
+	@total="$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}')"; \
+	echo "coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
+		{ echo "coverage $$total% fell below $(COVER_FLOOR)%"; exit 1; }
 
 # Short fuzz smoke over the WAL record decoder (CI runs the same).
 fuzz:

@@ -9,6 +9,8 @@
 package hostprof_test
 
 import (
+	"context"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -17,6 +19,7 @@ import (
 	"hostprof/internal/ads"
 	"hostprof/internal/core"
 	"hostprof/internal/experiment"
+	"hostprof/internal/index"
 	"hostprof/internal/sniffer"
 	"hostprof/internal/stats"
 	"hostprof/internal/store"
@@ -634,4 +637,119 @@ func BenchmarkAblationDailyRetrain(b *testing.B) {
 			b.ReportMetric(r.MeanEavesAffinity, "eaves-affinity")
 		})
 	}
+}
+
+// --- Serving index (parallel top-k vs serial scan) ----------------------
+
+// nearestBenchModel lazily builds a production-sized frozen model
+// (100K hosts x 128 dims, the scale the paper's ISP vantage implies) so
+// both scan paths query identical embeddings.
+var (
+	nnOnce  sync.Once
+	nnModel *core.Model
+	nnErr   error
+)
+
+func nearestBenchModel(b *testing.B) *core.Model {
+	b.Helper()
+	nnOnce.Do(func() {
+		const vocab, dim = 100_000, 128
+		rng := stats.NewRNG(512)
+		hosts := make([]string, vocab)
+		for i := range hosts {
+			hosts[i] = "h" + strconv.Itoa(i) + ".example"
+		}
+		in := make([]float64, vocab*dim)
+		for i := range in {
+			in[i] = rng.Float64()*2 - 1
+		}
+		nnModel, nnErr = core.NewModelFromVectors(hosts, dim, in)
+	})
+	if nnErr != nil {
+		b.Fatal(nnErr)
+	}
+	return nnModel
+}
+
+// BenchmarkNearestToVector compares the serial float64 scan against the
+// packed parallel index at vocab=100K, dim=128, k=1000 — the old and new
+// code paths behind Profiler neighbourhood queries.
+func BenchmarkNearestToVector(b *testing.B) {
+	m := nearestBenchModel(b)
+	q := m.VectorByID(17)
+	const k = 1000
+	bytesPerQuery := int64(m.Vocab().Len()) * 128 * 4
+
+	b.Run("serial", func(b *testing.B) {
+		b.SetBytes(bytesPerQuery * 2) // float64 rows
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if got := m.NearestToVector(q, k, nil); len(got) != k {
+				b.Fatalf("got %d neighbours", len(got))
+			}
+		}
+	})
+	b.Run("indexed", func(b *testing.B) {
+		ix := m.SimilarityIndex() // built outside the timer
+		var dst []index.Result
+		b.SetBytes(bytesPerQuery)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dst = ix.SearchAppend(dst[:0], q, k, 0, index.NoExclude)
+			if len(dst) != k {
+				b.Fatalf("got %d results", len(dst))
+			}
+		}
+	})
+}
+
+// BenchmarkProfileBatch compares profiling a block of sessions one at a
+// time through the serial scan (the pre-index path) against the batch
+// API over the parallel index.
+func BenchmarkProfileBatch(b *testing.B) {
+	s := setupBench(b)
+	per := s.Filtered.PerUserVisits()
+	var sessions [][]string
+	for _, uid := range s.Filtered.Users() {
+		visits := per[uid]
+		if sess := s.Filtered.Session(uid, visits[len(visits)/2].Time, 1200); len(sess) > 0 {
+			sessions = append(sessions, sess)
+		}
+		if len(sessions) == 64 {
+			break
+		}
+	}
+	if len(sessions) == 0 {
+		b.Fatal("no bench sessions")
+	}
+	cfg := core.ProfilerConfig{N: 40, Agg: core.AggIDF}
+
+	b.Run("sequential-serial", func(b *testing.B) {
+		serialCfg := cfg
+		serialCfg.SerialScan = true
+		prof := core.NewProfiler(s.Model, s.Ontology, serialCfg)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, sess := range sessions {
+				if _, err := prof.ProfileSession(sess); err != nil && err != core.ErrNoLabels {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(len(sessions)), "sessions")
+	})
+	b.Run("batch-indexed", func(b *testing.B) {
+		prof := core.NewProfiler(s.Model, s.Ontology, cfg)
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, errs := prof.ProfileSessions(ctx, sessions)
+			for _, err := range errs {
+				if err != nil && err != core.ErrNoLabels {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(len(sessions)), "sessions")
+	})
 }

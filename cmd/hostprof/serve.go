@@ -34,6 +34,8 @@ func cmdServe(args []string) error {
 	dim := fs.Int("dim", 64, "embedding dimensionality")
 	epochs := fs.Int("epochs", 5, "training epochs per retrain")
 	n := fs.Int("n", 40, "profiler neighbourhood size N")
+	indexWorkers := fs.Int("index-workers", 0, "goroutines per similarity-index query (0 = GOMAXPROCS)")
+	profileCache := fs.Int("profile-cache", 4096, "session-profile LRU entries, invalidated on retrain (0 disables)")
 	adsSeed := fs.Uint64("ads-seed", 1, "ad inventory seed")
 	withPprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	dataDir := fs.String("data-dir", "", "durable store directory (WAL + snapshots); empty keeps visits in memory only")
@@ -98,7 +100,8 @@ func cmdServe(args []string) error {
 		AdDB:          db,
 		Blocklist:     bl,
 		Train:         core.TrainConfig{Dim: *dim, Epochs: *epochs},
-		Profile:       core.ProfilerConfig{N: *n, Agg: core.AggIDF},
+		Profile:       core.ProfilerConfig{N: *n, Agg: core.AggIDF, IndexWorkers: *indexWorkers},
+		ProfileCache:  *profileCache,
 		Metrics:       obs.Default,
 		DataDir:       *dataDir,
 		Fsync:         fsyncPolicy,
@@ -131,7 +134,7 @@ func cmdServe(args []string) error {
 		slog.Int("labelled_hosts", ont.Len()),
 		slog.Int("ads", db.Len()),
 		slog.Float64("trace_sample", *traceSample))
-	slog.Info("endpoints: POST /v1/report /v1/feedback /v1/retrain[?async=1]; GET /v1/stats /metrics /varz /healthz /debug/traces")
+	slog.Info("endpoints: POST /v1/report /v1/profile/batch /v1/feedback /v1/retrain[?async=1]; GET /v1/stats /metrics /varz /healthz /debug/traces")
 	if *withPprof {
 		slog.Info("profiling: GET /debug/pprof/")
 	}

@@ -31,6 +31,7 @@ import (
 
 	"hostprof/internal/ads"
 	"hostprof/internal/core"
+	"hostprof/internal/index"
 	"hostprof/internal/obs"
 	"hostprof/internal/ontology"
 	"hostprof/internal/sniffer"
@@ -60,6 +61,13 @@ type (
 	// EpochStats is the per-epoch training report delivered to
 	// TrainConfig.Progress.
 	EpochStats = core.EpochStats
+
+	// SimilarityIndex is the packed parallel top-k cosine index every
+	// trained Model builds lazily (Model.SimilarityIndex); the profiler
+	// queries it instead of the serial scan.
+	SimilarityIndex = index.Index
+	// IndexResult is one SimilarityIndex hit (vocabulary ID + cosine).
+	IndexResult = index.Result
 
 	// MetricsRegistry collects operational metrics (counters, gauges,
 	// histograms) with Prometheus text and JSON exposition; share one

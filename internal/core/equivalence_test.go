@@ -1,0 +1,344 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hostprof/internal/ontology"
+	"hostprof/internal/stats"
+)
+
+// rankCosTol is the documented equivalence tolerance between the serial
+// float64 scan and the packed float32 index. Packing a unit vector to
+// float32 and taking a float32 dot product perturbs each cosine by at
+// most about (d+2)·2⁻²⁴ (< 4e-6 at the d ≤ 48 exercised here); 5e-5
+// leaves slack for the index's reassociated four-wide summation. Ranks
+// must agree exactly except between candidates whose serial cosines
+// differ by no more than this bound — where either order answers
+// Eq. (3) equally well.
+const rankCosTol = 5e-5
+
+// randModel builds a frozen model over vocab random embeddings, zeroing
+// the rows listed in zeroRows.
+func randModel(t testing.TB, rng *stats.RNG, vocab, dim int, zeroRows ...int) *Model {
+	t.Helper()
+	hosts := make([]string, vocab)
+	for i := range hosts {
+		hosts[i] = fmt.Sprintf("h%04d.example", i)
+	}
+	in := make([]float64, vocab*dim)
+	for i := range in {
+		in[i] = rng.Float64()*2 - 1
+	}
+	for _, r := range zeroRows {
+		for i := 0; i < dim; i++ {
+			in[r*dim+i] = 0
+		}
+	}
+	m, err := NewModelFromVectors(hosts, dim, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// assertIndexMatchesSerial compares the packed index's top-k against the
+// serial float64 ranking of the whole vocabulary: lengths must match,
+// every rank must carry the same ID — except where the serial cosines
+// are within rankCosTol, i.e. a tolerated float32 tie — and returned
+// scores must sit within the tolerance of their serial values.
+func assertIndexMatchesSerial(t *testing.T, m *Model, query []float64, k int) {
+	t.Helper()
+	ref := m.NearestToVector(query, m.Vocab().Len(), nil)
+	got := m.SimilarityIndex().Search(query, k)
+
+	wantLen := k
+	if wantLen > len(ref) {
+		wantLen = len(ref)
+	}
+	if ref == nil {
+		// Zero query (or empty model): both paths must return nothing.
+		if got != nil {
+			t.Fatalf("serial scan returned nil, index returned %d results", len(got))
+		}
+		return
+	}
+	if len(got) != wantLen {
+		t.Fatalf("index returned %d results, want %d (vocab %d, k %d)", len(got), wantLen, m.Vocab().Len(), k)
+	}
+	serialCos := make(map[int]float64, len(ref))
+	for _, n := range ref {
+		serialCos[n.ID] = n.Cosine
+	}
+	for i, r := range got {
+		cos, ok := serialCos[int(r.ID)]
+		if !ok {
+			t.Fatalf("rank %d: index ID %d missing from serial ranking", i, r.ID)
+		}
+		if d := math.Abs(float64(r.Score) - cos); d > rankCosTol {
+			t.Fatalf("rank %d: index cosine %g vs serial %g for ID %d, diff %g > %g",
+				i, r.Score, cos, r.ID, d, rankCosTol)
+		}
+		if int(r.ID) == ref[i].ID {
+			continue
+		}
+		if d := math.Abs(cos - ref[i].Cosine); d > rankCosTol {
+			t.Fatalf("rank %d: index ID %d (serial cos %g) vs serial ID %d (cos %g), diff %g > %g",
+				i, r.ID, cos, ref[i].ID, ref[i].Cosine, d, rankCosTol)
+		}
+	}
+}
+
+// TestIndexSerialEquivalenceQuick drives random models through both
+// scan paths: random dimensionality, vocabulary size and k (sometimes
+// k ≥ vocab), with occasional zero rows and zero queries.
+func TestIndexSerialEquivalenceQuick(t *testing.T) {
+	property := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		vocab := 3 + rng.Intn(198)
+		dim := 1 + rng.Intn(48)
+		var zeroRows []int
+		for r := 0; r < vocab; r++ {
+			if rng.Float64() < 0.05 {
+				zeroRows = append(zeroRows, r)
+			}
+		}
+		m := randModel(t, rng, vocab, dim, zeroRows...)
+
+		query := make([]float64, dim)
+		if rng.Float64() >= 0.05 { // 5% of trials keep the zero query
+			for i := range query {
+				query[i] = rng.Float64()*2 - 1
+			}
+		}
+		k := 1 + rng.Intn(vocab+10) // sometimes k > vocab
+		assertIndexMatchesSerial(t, m, query, k)
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexSerialEquivalenceTable(t *testing.T) {
+	rng := stats.NewRNG(2026)
+	for _, tc := range []struct {
+		name       string
+		vocab, dim int
+		k          int
+		zeroRows   []int
+		zeroQuery  bool
+		zeroModel  bool
+	}{
+		{name: "k beyond vocab", vocab: 7, dim: 5, k: 50},
+		{name: "k zero", vocab: 7, dim: 5, k: 0},
+		{name: "single host", vocab: 1, dim: 3, k: 1},
+		{name: "single dim", vocab: 20, dim: 1, k: 5},
+		{name: "zero query", vocab: 20, dim: 4, k: 5, zeroQuery: true},
+		{name: "all-zero model", vocab: 16, dim: 6, k: 8, zeroModel: true},
+		{name: "sprinkled zero rows", vocab: 40, dim: 9, k: 40, zeroRows: []int{0, 13, 39}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			zero := tc.zeroRows
+			if tc.zeroModel {
+				zero = zero[:0]
+				for r := 0; r < tc.vocab; r++ {
+					zero = append(zero, r)
+				}
+			}
+			m := randModel(t, rng, tc.vocab, tc.dim, zero...)
+			query := make([]float64, tc.dim)
+			if !tc.zeroQuery {
+				for i := range query {
+					query[i] = rng.Float64()*2 - 1
+				}
+			}
+			assertIndexMatchesSerial(t, m, query, tc.k)
+		})
+	}
+}
+
+// TestIndexSerialTieBreak plants exact duplicate vectors: both paths
+// must order the resulting exact ties by ascending vocabulary ID, so
+// the comparison is bit-for-bit, not merely within tolerance.
+func TestIndexSerialTieBreak(t *testing.T) {
+	rng := stats.NewRNG(77)
+	dim := 6
+	m := randModel(t, rng, 15, dim)
+	for _, dup := range []int{4, 9, 14} {
+		copy(m.in[dup*dim:(dup+1)*dim], m.in[1*dim:2*dim])
+	}
+	query := append([]float64(nil), m.in[1*dim:2*dim]...)
+
+	ref := m.NearestToVector(query, 4, nil)
+	got := m.SimilarityIndex().Search(query, 4)
+	wantIDs := []int{1, 4, 9, 14}
+	for i, id := range wantIDs {
+		if ref[i].ID != id {
+			t.Fatalf("serial rank %d: ID %d, want %d (tie-break by ascending ID)", i, ref[i].ID, id)
+		}
+		if int(got[i].ID) != id {
+			t.Fatalf("index rank %d: ID %d, want %d (tie-break by ascending ID)", i, got[i].ID, id)
+		}
+	}
+}
+
+// TestNearestLabelledMatchesFilteredSerial checks the labelled-candidates
+// view against filtering the full serial ranking down to labelled IDs.
+func TestNearestLabelledMatchesFilteredSerial(t *testing.T) {
+	rng := stats.NewRNG(88)
+	m := randModel(t, rng, 60, 8)
+	tax := ontology.NewTaxonomy()
+	ont := ontology.New(tax)
+	for id := 0; id < 60; id += 3 { // label every third host
+		v := tax.NewVector()
+		v[id%tax.NumCategories()] = 1
+		ont.Add(m.Vocab().Host(id), v)
+	}
+	indexed := NewProfiler(m, ont, ProfilerConfig{N: 10})
+	serial := NewProfiler(m, ont, ProfilerConfig{N: 10, SerialScan: true})
+
+	session := []string{m.Vocab().Host(2), m.Vocab().Host(17), m.Vocab().Host(40)}
+	got := indexed.NearestLabelled(session, 7)
+	want := serial.NearestLabelled(session, 7)
+	if len(got) != len(want) {
+		t.Fatalf("labelled view returned %d hosts, serial filter %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].ID != want[i].ID {
+			t.Fatalf("rank %d: labelled view ID %d, serial filter ID %d", i, got[i].ID, want[i].ID)
+		}
+		if d := math.Abs(got[i].Cosine - want[i].Cosine); d > rankCosTol {
+			t.Fatalf("rank %d: cosine diff %g > %g", i, d, rankCosTol)
+		}
+	}
+}
+
+// TestProfileIndexedMatchesSerial profiles real trained-model sessions
+// through both scan paths; the resulting category vectors must agree to
+// within the neighbourhood tolerance.
+func TestProfileIndexedMatchesSerial(t *testing.T) {
+	fx := newProfilingFixture(t, 0.5)
+	indexed := NewProfiler(fx.model, fx.ont, ProfilerConfig{N: 20})
+	serial := NewProfiler(fx.model, fx.ont, ProfilerConfig{N: 20, SerialScan: true})
+	sessions := [][]string{
+		fx.ta[:4],
+		fx.tb[len(fx.tb)-4:],
+		{fx.ta[0], fx.tb[0]},
+	}
+	for i, s := range sessions {
+		a, errA := indexed.ProfileSession(s)
+		b, errB := serial.ProfileSession(s)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("session %d: indexed err %v, serial err %v", i, errA, errB)
+		}
+		if errA != nil {
+			continue
+		}
+		for c := range a {
+			if d := math.Abs(a[c] - b[c]); d > 1e-4 {
+				t.Fatalf("session %d category %d: indexed %g vs serial %g", i, c, a[c], b[c])
+			}
+		}
+	}
+}
+
+// vectorsAlmostEqual compares two category vectors to within 1-ulp-ish
+// slack: profile aggregation folds map-ordered contributions, so the
+// last bit of each weight varies run to run even on identical input.
+func vectorsAlmostEqual(a, b ontology.Vector) bool {
+	if (a == nil) != (b == nil) || len(a) != len(b) {
+		return false
+	}
+	for c := range a {
+		if math.Abs(a[c]-b[c]) > 1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestProfileBatchMatchesSequential pins ProfileSessions to the
+// per-session outputs of ProfileSession, errors included, in input
+// order.
+func TestProfileBatchMatchesSequential(t *testing.T) {
+	fx := newProfilingFixture(t, 0.5)
+	p := NewProfiler(fx.model, fx.ont, ProfilerConfig{N: 20})
+	sessions := [][]string{
+		fx.ta[:3],
+		nil,                    // ErrEmptySession
+		{"never-seen.example"}, // ErrNoLabels
+		fx.tb[:3],
+		{fx.ta[0]},
+	}
+	vecs, errs := p.ProfileSessions(context.Background(), sessions)
+	if len(vecs) != len(sessions) || len(errs) != len(sessions) {
+		t.Fatalf("batch sizes %d/%d, want %d", len(vecs), len(errs), len(sessions))
+	}
+	for i, s := range sessions {
+		want, wantErr := p.ProfileSession(s)
+		if !errors.Is(errs[i], wantErr) && !errors.Is(wantErr, errs[i]) {
+			t.Fatalf("session %d: batch err %v, sequential err %v", i, errs[i], wantErr)
+		}
+		if !vectorsAlmostEqual(vecs[i], want) {
+			t.Fatalf("session %d: batch profile differs from sequential", i)
+		}
+	}
+}
+
+// TestSessionKeyCanonical pins the cache-key contract: order and repeat
+// insensitivity (under dedup), sensitivity to the influencing host set,
+// inclusion of out-of-vocabulary labelled hosts, and the uncacheable
+// empty key for sessions no host of which can influence the profile.
+func TestSessionKeyCanonical(t *testing.T) {
+	fx := newProfilingFixture(t, 0.5)
+	v := fx.tax.NewVector()
+	v[3] = 1
+	fx.ont.Add("oov-labelled.example", v)
+	p := NewProfiler(fx.model, fx.ont, ProfilerConfig{N: 5})
+
+	a, b := fx.ta[0], fx.ta[1]
+	k1 := p.SessionKey([]string{a, b, "unknown.example"})
+	k2 := p.SessionKey([]string{b, "unknown.example", a, a})
+	if k1 == "" || k1 != k2 {
+		t.Fatalf("keys differ under permutation/dup/unknown noise: %q vs %q", k1, k2)
+	}
+	if k3 := p.SessionKey([]string{a}); k3 == k1 {
+		t.Fatal("dropping an influencing host must change the key")
+	}
+	// An out-of-vocab labelled host influences the profile (alpha = 1)
+	// and must therefore be part of the key.
+	if p.SessionKey([]string{a, "oov-labelled.example"}) == p.SessionKey([]string{a}) {
+		t.Fatal("out-of-vocabulary labelled host missing from the key")
+	}
+	if k := p.SessionKey([]string{"unknown.example"}); k != "" {
+		t.Fatalf("all-unknown session key %q, want empty (uncacheable)", k)
+	}
+	// With SkipDedup, multiplicity shifts the session vector, so the
+	// key must distinguish repeat counts.
+	pd := NewProfiler(fx.model, fx.ont, ProfilerConfig{N: 5, SkipDedup: true})
+	if pd.SessionKey([]string{a, a, b}) == pd.SessionKey([]string{a, b}) {
+		t.Fatal("SkipDedup keys must track host multiplicity")
+	}
+}
+
+// TestProfileSessionErrNoLabelsPinned pins ErrNoLabels for both ways a
+// session can fail Eq. (4)'s denominator: every host unknown to model
+// and ontology, and an in-vocabulary session whose neighbourhood holds
+// no labelled host (empty ontology).
+func TestProfileSessionErrNoLabelsPinned(t *testing.T) {
+	fx := newProfilingFixture(t, 0.5)
+	p := NewProfiler(fx.model, fx.ont, ProfilerConfig{N: 10})
+	if _, err := p.ProfileSession([]string{"nope-1.example", "nope-2.example"}); !errors.Is(err, ErrNoLabels) {
+		t.Fatalf("all-unknown session: err = %v, want ErrNoLabels", err)
+	}
+	empty := ontology.New(fx.tax)
+	pu := NewProfiler(fx.model, empty, ProfilerConfig{N: 10})
+	if _, err := pu.ProfileSession(fx.ta[:3]); !errors.Is(err, ErrNoLabels) {
+		t.Fatalf("unlabelled neighbourhood: err = %v, want ErrNoLabels", err)
+	}
+}

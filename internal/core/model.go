@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"hostprof/internal/fault"
+	"hostprof/internal/index"
 	"hostprof/internal/stats"
 )
 
@@ -117,10 +118,15 @@ type Model struct {
 	in    []float64 // |H| × dim central representations, row-major
 	out   []float64 // |H| × dim context representations, row-major
 
-	// normed caches unit-normalized central vectors for similarity
-	// search; built lazily by ensureIndex.
+	// normed caches unit-normalized central vectors for the serial
+	// float64 similarity scan; built lazily by ensureIndex.
 	normed   []float64
 	normOnce sync.Once
+
+	// fastIdx is the packed float32 similarity index over the central
+	// embeddings; built lazily by SimilarityIndex, once per model.
+	fastIdx  *index.Index
+	fastOnce sync.Once
 }
 
 // ErrEmptyCorpus is returned when no trainable sequences remain after
@@ -413,6 +419,17 @@ func (m *Model) ensureIndex() {
 	})
 }
 
+// SimilarityIndex returns the packed float32 top-k similarity index over
+// the central embeddings, building it on first use. The index is
+// immutable — models are frozen after training — so every profiler over
+// this model shares one copy.
+func (m *Model) SimilarityIndex() *index.Index {
+	m.fastOnce.Do(func() {
+		m.fastIdx = index.New(m.in, m.vocab.Len(), m.dim, index.Config{})
+	})
+	return m.fastIdx
+}
+
 // Similarity returns the cosine similarity between the embeddings of two
 // hosts, or an error if either is out of vocabulary.
 func (m *Model) Similarity(a, b string) (float64, error) {
@@ -434,10 +451,23 @@ type Neighbour struct {
 	Cosine float64
 }
 
+// worseNeighbour reports whether a ranks strictly below b under the
+// result order shared with internal/index: lower cosine, ties broken by
+// higher ID. Applying this total order at every heap comparison — not
+// just the final sort — makes the serial scan's kept set deterministic,
+// so the equivalence suite can compare it position-by-position against
+// the parallel index.
+func worseNeighbour(a, b Neighbour) bool {
+	return a.Cosine < b.Cosine || (a.Cosine == b.Cosine && a.ID > b.ID)
+}
+
 // NearestToVector returns the k vocabulary hosts whose central embeddings
-// have the highest cosine similarity to query, in decreasing order.
-// exclude, if non-nil, suppresses specific vocabulary IDs (e.g. the query
-// host itself).
+// have the highest cosine similarity to query, in decreasing order (ties
+// broken by ascending vocabulary ID). exclude, if non-nil, suppresses
+// specific vocabulary IDs (e.g. the query host itself).
+//
+// This is the single-threaded float64 reference scan; hot paths go
+// through SimilarityIndex, which is rank-equivalent (see internal/index).
 func (m *Model) NearestToVector(query []float64, k int, exclude map[int]bool) []Neighbour {
 	if k <= 0 {
 		return nil
@@ -447,7 +477,7 @@ func (m *Model) NearestToVector(query []float64, k int, exclude map[int]bool) []
 	if stats.Normalize(qn) == 0 {
 		return nil
 	}
-	// Bounded min-heap over cosine.
+	// Bounded min-heap rooted at the worst kept neighbour.
 	h := make([]Neighbour, 0, k+1)
 	push := func(n Neighbour) {
 		h = append(h, n)
@@ -455,7 +485,7 @@ func (m *Model) NearestToVector(query []float64, k int, exclude map[int]bool) []
 		i := len(h) - 1
 		for i > 0 {
 			p := (i - 1) / 2
-			if h[p].Cosine <= h[i].Cosine {
+			if !worseNeighbour(h[i], h[p]) {
 				break
 			}
 			h[p], h[i] = h[i], h[p]
@@ -470,10 +500,10 @@ func (m *Model) NearestToVector(query []float64, k int, exclude map[int]bool) []
 		for {
 			l, r := 2*i+1, 2*i+2
 			s := i
-			if l < n && h[l].Cosine < h[s].Cosine {
+			if l < n && worseNeighbour(h[l], h[s]) {
 				s = l
 			}
-			if r < n && h[r].Cosine < h[s].Cosine {
+			if r < n && worseNeighbour(h[r], h[s]) {
 				s = r
 			}
 			if s == i {
@@ -488,14 +518,15 @@ func (m *Model) NearestToVector(query []float64, k int, exclude map[int]bool) []
 			continue
 		}
 		cos := stats.Dot(qn, m.normed[id*m.dim:id*m.dim+m.dim])
+		cand := Neighbour{ID: id, Cosine: cos}
 		if len(h) < k {
-			push(Neighbour{ID: id, Cosine: cos})
-		} else if cos > h[0].Cosine {
+			push(cand)
+		} else if worseNeighbour(h[0], cand) {
 			pop()
-			push(Neighbour{ID: id, Cosine: cos})
+			push(cand)
 		}
 	}
-	sort.Slice(h, func(i, j int) bool { return h[i].Cosine > h[j].Cosine })
+	sort.Slice(h, func(i, j int) bool { return worseNeighbour(h[j], h[i]) })
 	for i := range h {
 		h[i].Host = m.vocab.Host(h[i].ID)
 	}
@@ -503,11 +534,45 @@ func (m *Model) NearestToVector(query []float64, k int, exclude map[int]bool) []
 }
 
 // MostSimilar returns the k nearest hosts to the given host, excluding the
-// host itself.
+// host itself. It queries the packed similarity index; cosines are
+// float32-rounded accordingly.
 func (m *Model) MostSimilar(host string, k int) ([]Neighbour, error) {
 	id, ok := m.vocab.ID(host)
 	if !ok {
 		return nil, fmt.Errorf("core: host %q not in vocabulary", host)
 	}
-	return m.NearestToVector(m.VectorByID(id), k, map[int]bool{id: true}), nil
+	res := m.SimilarityIndex().SearchAppend(nil, m.VectorByID(id), k, 0, int32(id))
+	ns := make([]Neighbour, len(res))
+	for i, r := range res {
+		ns[i] = Neighbour{ID: int(r.ID), Host: m.vocab.Host(int(r.ID)), Cosine: float64(r.Score)}
+	}
+	return ns, nil
+}
+
+// NewModelFromVectors assembles a frozen Model directly from a host list
+// and a row-major central-embedding matrix of len(hosts)×dim, for tools,
+// benchmarks and tests that need a model without running training. Hosts
+// must be unique; each gets a uniform count of 1 and the context matrix
+// is left empty.
+func NewModelFromVectors(hosts []string, dim int, in []float64) (*Model, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("core: non-positive dimensionality %d", dim)
+	}
+	if len(in) != len(hosts)*dim {
+		return nil, fmt.Errorf("core: matrix length %d != %d hosts x dim %d", len(in), len(hosts), dim)
+	}
+	v := &Vocab{
+		hosts:  append([]string(nil), hosts...),
+		index:  make(map[string]int, len(hosts)),
+		counts: make([]int64, len(hosts)),
+		total:  int64(len(hosts)),
+	}
+	for i, h := range hosts {
+		if _, dup := v.index[h]; dup {
+			return nil, fmt.Errorf("core: duplicate host %q", h)
+		}
+		v.index[h] = i
+		v.counts[i] = 1
+	}
+	return &Model{vocab: v, dim: dim, in: append([]float64(nil), in...)}, nil
 }

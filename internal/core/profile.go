@@ -1,9 +1,20 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
+	"hostprof/internal/index"
+	"hostprof/internal/obs"
+	"hostprof/internal/obs/tracer"
 	"hostprof/internal/ontology"
 	"hostprof/internal/stats"
 )
@@ -35,6 +46,20 @@ type ProfilerConfig struct {
 	// session, keeping the first, as the paper does to damp interactive
 	// services (Section 4.1). Default true (set SkipDedup to disable).
 	SkipDedup bool
+	// IndexWorkers caps per-query scan parallelism of the similarity
+	// index; 0 selects GOMAXPROCS (see index.Config.Workers).
+	IndexWorkers int
+	// SerialScan forces the single-threaded float64 reference scan
+	// instead of the packed float32 index — the equivalence harness's
+	// baseline, kept as an operational escape hatch.
+	SerialScan bool
+	// Metrics, when non-nil, receives the hostprof_index_* series: build
+	// time and size gauges at construction, query counters and latency
+	// per neighbourhood scan.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, records profile.index/profile.batch child
+	// spans under request contexts that carry an active trace.
+	Tracer *tracer.Tracer
 }
 
 // Profiler turns hostname sessions into category vectors using a trained
@@ -48,6 +73,16 @@ type Profiler struct {
 	// labelledIDs are vocabulary IDs with ontology coverage (H_L ∩ H).
 	labelledIDs map[int]ontology.Vector
 	idf         []float64
+
+	// idx is the model's packed similarity index; lab is its view over
+	// the labelled IDs only (nil when no vocabulary host is labelled or
+	// when SerialScan is set).
+	idx *index.Index
+	lab *index.Index
+
+	// Cached metric handles, nil without cfg.Metrics.
+	mQueries      *obs.Counter
+	mQuerySeconds *obs.Histogram
 }
 
 // Profiler errors.
@@ -82,6 +117,38 @@ func NewProfiler(m *Model, ont *ontology.Ontology, cfg ProfilerConfig) *Profiler
 		total := float64(m.Vocab().Total())
 		for id := range p.idf {
 			p.idf[id] = logIDF(total, float64(m.Vocab().Count(id)))
+		}
+	}
+	if !cfg.SerialScan {
+		start := time.Now()
+		p.idx = m.SimilarityIndex()
+		if len(p.labelledIDs) > 0 {
+			ids := make([]int, 0, len(p.labelledIDs))
+			for id := range p.labelledIDs {
+				ids = append(ids, id)
+			}
+			sort.Ints(ids)
+			p.lab = p.idx.Subset(ids)
+		}
+		if reg := cfg.Metrics; reg != nil {
+			reg.Describe("hostprof_index_build_seconds", "Time to build (or attach) the packed similarity index per profiler.")
+			reg.Describe("hostprof_index_rows", "Vocabulary rows in the packed similarity index.")
+			reg.Describe("hostprof_index_bytes", "Size of the packed similarity matrices in bytes, labelled view included.")
+			reg.Describe("hostprof_index_labelled_rows", "Ontology-labelled rows in the index's labelled-candidates view.")
+			reg.Describe("hostprof_index_queries_total", "Neighbourhood queries answered by the packed similarity index.")
+			reg.Describe("hostprof_index_query_seconds", "Packed similarity index query latency.")
+			reg.Histogram("hostprof_index_build_seconds", obs.ExpBuckets(0.001, 2, 14)).Observe(time.Since(start).Seconds())
+			bytes := p.idx.Bytes()
+			labRows := 0
+			if p.lab != nil {
+				bytes += p.lab.Bytes()
+				labRows = p.lab.Rows()
+			}
+			reg.Gauge("hostprof_index_rows").Set(float64(p.idx.Rows()))
+			reg.Gauge("hostprof_index_bytes").Set(float64(bytes))
+			reg.Gauge("hostprof_index_labelled_rows").Set(float64(labRows))
+			p.mQueries = reg.Counter("hostprof_index_queries_total")
+			p.mQuerySeconds = reg.Histogram("hostprof_index_query_seconds", obs.ExpBuckets(0.0001, 2, 14))
 		}
 	}
 	return p
@@ -147,11 +214,114 @@ func dedupFirst(hosts []string) []string {
 	return out
 }
 
+// nearest runs the Eq. (3) neighbourhood query — the k vocabulary hosts
+// closest to the session representation — through the packed index, or
+// the serial float64 reference when SerialScan is set. The index scan is
+// recorded as a profile.index span under ctx and counted in the
+// hostprof_index_* metrics.
+func (p *Profiler) nearest(ctx context.Context, sVec []float64, k int) []Neighbour {
+	if p.idx == nil {
+		return p.model.NearestToVector(sVec, k, nil)
+	}
+	_, span := p.cfg.Tracer.StartSpan(ctx, "profile.index")
+	start := time.Now()
+	res := p.idx.SearchAppend(nil, sVec, k, p.cfg.IndexWorkers, index.NoExclude)
+	if p.mQueries != nil {
+		p.mQueries.Inc()
+		p.mQuerySeconds.Observe(time.Since(start).Seconds())
+	}
+	span.SetAttr("rows", strconv.Itoa(p.idx.Rows()))
+	span.SetAttr("k", strconv.Itoa(k))
+	span.End()
+	ns := make([]Neighbour, len(res))
+	for i, r := range res {
+		id := int(r.ID)
+		ns[i] = Neighbour{ID: id, Host: p.model.Vocab().Host(id), Cosine: float64(r.Score)}
+	}
+	return ns
+}
+
+// NearestLabelled returns the k ontology-labelled vocabulary hosts
+// nearest to the session's aggregated representation — the labelled
+// candidate set of Eq. (3) without scanning unlabelled rows. It returns
+// nil when the session has no in-vocabulary host or no vocabulary host
+// is labelled.
+func (p *Profiler) NearestLabelled(hosts []string, k int) []Neighbour {
+	if !p.cfg.SkipDedup {
+		hosts = dedupFirst(hosts)
+	}
+	sVec, inVocab := p.SessionVector(hosts)
+	if inVocab == 0 || k <= 0 {
+		return nil
+	}
+	if p.lab == nil {
+		if p.idx != nil {
+			return nil // indexed profiler with zero labelled hosts
+		}
+		// Serial fallback: scan everything, keep the labelled prefix.
+		var out []Neighbour
+		for _, nb := range p.model.NearestToVector(sVec, p.model.Vocab().Len(), nil) {
+			if _, ok := p.labelledIDs[nb.ID]; !ok {
+				continue
+			}
+			out = append(out, nb)
+			if len(out) == k {
+				break
+			}
+		}
+		return out
+	}
+	res := p.lab.SearchAppend(nil, sVec, k, p.cfg.IndexWorkers, index.NoExclude)
+	ns := make([]Neighbour, len(res))
+	for i, r := range res {
+		id := int(r.ID)
+		ns[i] = Neighbour{ID: id, Host: p.model.Vocab().Host(id), Cosine: float64(r.Score)}
+	}
+	return ns
+}
+
+// SessionKey returns a canonical cache key for a session: the sorted
+// hosts that can influence its profile — in-vocabulary hosts (they shape
+// the session vector) and ontology-labelled hosts (they contribute with
+// weight 1 even out of vocabulary). Two sessions with equal keys produce
+// identical profiles under this profiler, so the key is safe to memoise
+// on until the model or ontology changes. The empty key means no host
+// influences the profile; callers must not cache it. Repeats are
+// dropped unless SkipDedup is set (then multiplicity changes the
+// session vector, and the key keeps it).
+func (p *Profiler) SessionKey(hosts []string) string {
+	if !p.cfg.SkipDedup {
+		hosts = dedupFirst(hosts)
+	}
+	keep := make([]string, 0, len(hosts))
+	for _, h := range hosts {
+		if _, ok := p.model.Vocab().ID(h); ok {
+			keep = append(keep, h)
+			continue
+		}
+		if _, ok := p.ont.Lookup(h); ok {
+			keep = append(keep, h)
+		}
+	}
+	if len(keep) == 0 {
+		return ""
+	}
+	sort.Strings(keep)
+	return strings.Join(keep, "\n")
+}
+
 // ProfileSession computes the category vector c^{s_u^T} of a session
 // (Equations 3 and 4): hostnames labelled by the ontology contribute with
 // weight 1; the N nearest vocabulary hosts to the session representation
 // contribute with weight [cos(s, h)]_+ when labelled.
 func (p *Profiler) ProfileSession(hosts []string) (ontology.Vector, error) {
+	return p.ProfileSessionContext(context.Background(), hosts)
+}
+
+// ProfileSessionContext is ProfileSession under a request context: when
+// ctx carries an active trace, the index scan appears as a profile.index
+// child span.
+func (p *Profiler) ProfileSessionContext(ctx context.Context, hosts []string) (ontology.Vector, error) {
 	if !p.cfg.SkipDedup {
 		hosts = dedupFirst(hosts)
 	}
@@ -176,7 +346,7 @@ func (p *Profiler) ProfileSession(hosts []string) (ontology.Vector, error) {
 
 	if inVocab > 0 {
 		// H_{s}: the N nearest hosts to the session representation.
-		for _, nb := range p.model.NearestToVector(sVec, p.cfg.N, nil) {
+		for _, nb := range p.nearest(ctx, sVec, p.cfg.N) {
 			v, ok := p.labelledIDs[nb.ID]
 			if !ok {
 				continue // unlabelled neighbours carry no categories
@@ -191,11 +361,10 @@ func (p *Profiler) ProfileSession(hosts []string) (ontology.Vector, error) {
 		}
 	}
 
+	// Nothing labelled in the session or its neighbourhood (this also
+	// covers the all-unknown session: inVocab == 0 leaves only the
+	// session's own ontology hits, of which there were none).
 	if len(contribs) == 0 {
-		if inVocab == 0 && len(hosts) > 0 {
-			// Session contained only unknown hosts.
-			return nil, ErrNoLabels
-		}
 		return nil, ErrNoLabels
 	}
 
@@ -213,4 +382,47 @@ func (p *Profiler) ProfileSession(hosts []string) (ontology.Vector, error) {
 	}
 	out.Clamp() // guard accumulated rounding just above 1
 	return out, nil
+}
+
+// ProfileSessions profiles a batch of sessions, spreading them over
+// worker goroutines (the per-query index parallelism then works within
+// each session). It returns one vector-or-error per session, positions
+// matching the input; the batch appears as one profile.batch span.
+func (p *Profiler) ProfileSessions(ctx context.Context, sessions [][]string) ([]ontology.Vector, []error) {
+	vecs := make([]ontology.Vector, len(sessions))
+	errs := make([]error, len(sessions))
+	if len(sessions) == 0 {
+		return vecs, errs
+	}
+	ctx, span := p.cfg.Tracer.StartSpan(ctx, "profile.batch")
+	span.SetAttr("sessions", strconv.Itoa(len(sessions)))
+	defer span.End()
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(sessions) {
+		workers = len(sessions)
+	}
+	if workers <= 1 {
+		for i, s := range sessions {
+			vecs[i], errs[i] = p.ProfileSessionContext(ctx, s)
+		}
+		return vecs, errs
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(sessions) {
+					return
+				}
+				vecs[i], errs[i] = p.ProfileSessionContext(ctx, sessions[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return vecs, errs
 }

@@ -1,0 +1,259 @@
+package index
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// queryState is the pooled scratch of one in-flight query: the packed
+// query vector, one bounded heap per scanner slot, and the atomics
+// coordinating block claims. It is reused across queries via the
+// index's sync.Pool, so the steady-state query allocates nothing.
+type queryState struct {
+	ix      *Index
+	q       []float32
+	k       int
+	exclude int32
+
+	// epoch is odd while a query is active. Helpers receive (state,
+	// epoch) tokens from the process-wide channel; a token whose epoch
+	// no longer matches is stale — from a query that already finished —
+	// and the helper bounces off without touching anything.
+	epoch atomic.Uint64
+	// active counts helpers inside help(); the query owner waits for it
+	// to drain after the epoch flip before reading the heaps.
+	active atomic.Int32
+	// next is the index of the next unclaimed scan block.
+	next atomic.Int32
+	// slots hands out heap slots 1..len(heaps)-1 to helpers; slot 0
+	// belongs to the calling goroutine.
+	slots atomic.Int32
+
+	wg    sync.WaitGroup
+	heaps []topk
+	out   topk
+}
+
+func newQueryState(ix *Index) *queryState {
+	return &queryState{
+		ix:    ix,
+		q:     make([]float32, ix.dim),
+		heaps: make([]topk, 1+helperCount()),
+	}
+}
+
+// setQuery normalizes query into the packed float32 buffer, reporting
+// false for a zero vector (no defined neighbourhood).
+func (qs *queryState) setQuery(query []float64) bool {
+	var norm float64
+	for _, x := range query {
+		norm += x * x
+	}
+	if norm == 0 {
+		return false
+	}
+	inv := 1 / math.Sqrt(norm)
+	for i, x := range query {
+		qs.q[i] = float32(x * inv)
+	}
+	return true
+}
+
+// scan claims blocks until none remain. The caller owns heap slot 0; a
+// helper acquires its slot only after winning its first block claim —
+// a successful claim means the query owner is still blocked in wg.Wait,
+// so resetting the slot's heap cannot race with the merge.
+func (qs *queryState) scan(caller bool) {
+	var h *topk
+	if caller {
+		h = &qs.heaps[0]
+		h.reset(qs.k)
+	}
+	for {
+		b := int(qs.next.Add(1)) - 1
+		if b >= qs.ix.blocks {
+			return
+		}
+		if h == nil {
+			h = &qs.heaps[qs.slots.Add(1)]
+			h.reset(qs.k)
+		}
+		qs.ix.scanBlock(qs.q, b, qs.exclude, h)
+		qs.wg.Done()
+	}
+}
+
+// help is a helper's entry point for one token.
+func (qs *queryState) help(epoch uint64) {
+	qs.active.Add(1)
+	if qs.epoch.Load() == epoch {
+		qs.scan(false)
+	}
+	qs.active.Add(-1)
+}
+
+// merge folds every used heap into the output heap and appends the
+// final ranking to dst, best first.
+func (qs *queryState) merge(dst []Result) []Result {
+	used := int(qs.slots.Load())
+	qs.out.reset(qs.k)
+	for s := 0; s <= used; s++ {
+		for _, e := range qs.heaps[s].e {
+			qs.out.offer(e)
+		}
+	}
+	n := len(qs.out.e)
+	base := len(dst)
+	for i := 0; i < n; i++ {
+		dst = append(dst, Result{})
+	}
+	// Popping a min-heap of the kept set yields worst-first: fill from
+	// the back.
+	ids := qs.ix.ids
+	for i := n - 1; i >= 0; i-- {
+		e := qs.out.pop()
+		id := e.row
+		if ids != nil {
+			id = ids[id]
+		}
+		dst[base+i] = Result{ID: id, Score: e.score}
+	}
+	return dst
+}
+
+// --- scanner helper pool ------------------------------------------------
+
+// token hands a live query to an idle helper.
+type token struct {
+	qs    *queryState
+	epoch uint64
+}
+
+var helperPool struct {
+	once sync.Once
+	ch   chan token
+	n    int
+}
+
+// helperCount returns the number of persistent helper goroutines,
+// starting them on first use. Helpers are process-wide and shared by
+// every index, so model retrains never leak scanner goroutines.
+func helperCount() int {
+	helperPool.once.Do(func() {
+		n := runtime.GOMAXPROCS(0) - 1
+		if n < 1 {
+			n = 1
+		}
+		if n > 32 {
+			n = 32
+		}
+		helperPool.n = n
+		helperPool.ch = make(chan token, 2*n)
+		for i := 0; i < n; i++ {
+			go func() {
+				for t := range helperPool.ch {
+					t.qs.help(t.epoch)
+				}
+			}()
+		}
+	})
+	return helperPool.n
+}
+
+// offerHelp invites up to n helpers to the query without blocking: if
+// the pool is saturated the caller simply scans more blocks itself.
+func offerHelp(qs *queryState, epoch uint64, n int) {
+	helperCount()
+	for i := 0; i < n; i++ {
+		select {
+		case helperPool.ch <- token{qs: qs, epoch: epoch}:
+		default:
+			return
+		}
+	}
+}
+
+// --- bounded top-k heap -------------------------------------------------
+
+// entry is one scored row.
+type entry struct {
+	score float32
+	row   int32
+}
+
+// worse reports whether a ranks strictly below b in the total result
+// order: lower score, or equal score and higher row. Using a total
+// order at every comparison makes the kept set — not just its final
+// sort — independent of the block partition.
+func worse(a, b entry) bool {
+	return a.score < b.score || (a.score == b.score && a.row > b.row)
+}
+
+// topk is a bounded min-heap of the best k entries seen, rooted at the
+// worst kept entry.
+type topk struct {
+	e []entry
+	k int
+}
+
+func (h *topk) reset(k int) {
+	h.k = k
+	if cap(h.e) < k {
+		h.e = make([]entry, 0, k)
+	} else {
+		h.e = h.e[:0]
+	}
+}
+
+// offer inserts e if it ranks above the current worst kept entry.
+func (h *topk) offer(e entry) {
+	if len(h.e) < h.k {
+		h.e = append(h.e, e)
+		i := len(h.e) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if !worse(h.e[i], h.e[p]) {
+				break
+			}
+			h.e[p], h.e[i] = h.e[i], h.e[p]
+			i = p
+		}
+		return
+	}
+	if !worse(h.e[0], e) {
+		return
+	}
+	h.e[0] = e
+	h.siftDown(0)
+}
+
+// pop removes and returns the worst kept entry.
+func (h *topk) pop() entry {
+	root := h.e[0]
+	n := len(h.e) - 1
+	h.e[0] = h.e[n]
+	h.e = h.e[:n]
+	h.siftDown(0)
+	return root
+}
+
+func (h *topk) siftDown(i int) {
+	n := len(h.e)
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && worse(h.e[l], h.e[s]) {
+			s = l
+		}
+		if r < n && worse(h.e[r], h.e[s]) {
+			s = r
+		}
+		if s == i {
+			return
+		}
+		h.e[i], h.e[s] = h.e[s], h.e[i]
+		i = s
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package index
+
+// raceDetectorEnabled reports whether this binary was built with the
+// race detector; see race_on.go.
+const raceDetectorEnabled = false

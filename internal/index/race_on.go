@@ -1,0 +1,9 @@
+//go:build race
+
+package index
+
+// raceDetectorEnabled reports whether this binary was built with the
+// race detector. The zero-allocation guard tests skip under -race: the
+// detector instruments the pooled scratch path and makes AllocsPerRun
+// report detector-internal allocations.
+const raceDetectorEnabled = true

@@ -130,6 +130,20 @@ func (e *Extension) ReportContext(ctx context.Context, now int64, hosts []string
 	return resp.Ads, nil
 }
 
+// ProfileBatch profiles many sessions in one round trip, returning one
+// result per session in request order. Individual sessions can fail
+// (empty, nothing labelled reachable) without failing the batch; those
+// results carry Error instead of Categories.
+func (e *Extension) ProfileBatch(ctx context.Context, sessions [][]string) ([]ProfileResult, error) {
+	var resp ProfileBatchResponse
+	err := e.post(ctx, "client.profile_batch", "/v1/profile/batch",
+		ProfileBatchRequest{Sessions: sessions}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Profiles, nil
+}
+
 // Feedback reports one displayed ad and whether it was clicked.
 func (e *Extension) Feedback(adID int, source string, clicked bool) error {
 	return e.FeedbackContext(context.Background(), adID, source, clicked)

@@ -82,6 +82,16 @@ type Config struct {
 	// MaxHostsPerReport rejects reports carrying more hostnames (400),
 	// bounding per-request work and WAL amplification. Default 1024.
 	MaxHostsPerReport int
+	// MaxSessionsPerBatch rejects /v1/profile/batch requests carrying
+	// more sessions (400). Default 256.
+	MaxSessionsPerBatch int
+	// ProfileCache sizes the LRU of session profiles sitting in front of
+	// the profile path, in entries; zero or negative disables caching.
+	// The cache is keyed by the set of hosts that can influence the
+	// profile (see core.Profiler.SessionKey) and swapped wholesale on
+	// every retrain, so a hit can never surface a previous model's
+	// profile.
+	ProfileCache int
 	// Tracer, when non-nil, gives every request a span tree: handler
 	// spans join incoming W3C traceparent contexts, and store, profile
 	// and retrain work become child spans. Completed traces surface at
@@ -116,6 +126,7 @@ type Backend struct {
 
 	mu       sync.Mutex
 	profiler *core.Profiler
+	pcache   *profileCache // one generation per profiler, swapped together
 	selector *ads.Selector
 
 	// campaign statistics
@@ -184,6 +195,9 @@ func New(cfg Config) (*Backend, error) {
 	if cfg.MaxHostsPerReport <= 0 {
 		cfg.MaxHostsPerReport = 1024
 	}
+	if cfg.MaxSessionsPerBatch <= 0 {
+		cfg.MaxSessionsPerBatch = 256
+	}
 	if cfg.SlowRequest == 0 {
 		cfg.SlowRequest = time.Second
 	}
@@ -199,6 +213,15 @@ func New(cfg Config) (*Backend, error) {
 		reg = obs.NewRegistry()
 	}
 	obs.RegisterRuntimeMetrics(reg)
+	// Profilers inherit the backend's observability plane unless the
+	// caller wired their own: the index scan then exports its
+	// hostprof_index_* series here and spans under request traces.
+	if cfg.Profile.Metrics == nil {
+		cfg.Profile.Metrics = reg
+	}
+	if cfg.Profile.Tracer == nil {
+		cfg.Profile.Tracer = cfg.Tracer
+	}
 	st := cfg.Store
 	if st == nil {
 		st, err = store.Open(store.Config{
@@ -226,7 +249,14 @@ func New(cfg Config) (*Backend, error) {
 	// immediately, without waiting for the first retrain.
 	if m := st.Model(); m != nil {
 		b.profiler = core.NewProfiler(m, cfg.Ontology, cfg.Profile)
+		b.pcache = newProfileCache(cfg.ProfileCache, reg)
 	}
+	reg.GaugeFunc("hostprof_profile_cache_size", func() float64 {
+		b.mu.Lock()
+		c := b.pcache
+		b.mu.Unlock()
+		return float64(c.len())
+	})
 	reg.GaugeFunc("hostprof_model_trained", func() float64 {
 		if b.Ready() {
 			return 1
@@ -348,8 +378,13 @@ func (b *Backend) retrainRun(ctx context.Context) error {
 		slog.Int("vocab", model.Vocab().Len()),
 		slog.Duration("elapsed", d))
 	prof := core.NewProfiler(model, b.cfg.Ontology, b.cfg.Profile)
+	// The cache swaps atomically with the profiler: a compute that began
+	// on the old model inserts into the orphaned old cache, so the new
+	// generation can never serve a stale profile.
+	pc := newProfileCache(b.cfg.ProfileCache, b.reg)
 	b.mu.Lock()
 	b.profiler = prof
+	b.pcache = pc
 	b.mu.Unlock()
 	b.store.SetModel(model)
 	// Snapshot failures must not undo a successful retrain; they are
@@ -396,16 +431,9 @@ func (b *Backend) report(ctx context.Context, userID int, now int64, hosts []str
 	session := b.store.Session(userID, now, b.cfg.SessionWindow)
 	ssp.SetAttr("session_hosts", strconv.Itoa(len(session)))
 	ssp.End()
-	b.mu.Lock()
-	prof := b.profiler
-	b.mu.Unlock()
-
-	if prof == nil {
-		return nil, errNotTrained
-	}
-	_, psp := b.tr.StartSpan(ctx, "profile")
+	pctx, psp := b.tr.StartSpan(ctx, "profile")
 	sp := obs.StartSpan(b.met.profileSeconds)
-	profile, err := prof.ProfileSession(session)
+	profile, err := b.profile(pctx, session)
 	sp.End()
 	if err != nil {
 		// Empty or unlabelled sessions are expected outcomes; only
@@ -425,6 +453,82 @@ func (b *Backend) report(ctx context.Context, userID int, now int64, hosts []str
 }
 
 var errNotTrained = errors.New("server: model not trained yet")
+
+// cacheableProfileErr reports whether a profiling outcome is
+// deterministic under a fixed profiler — safe to memoise. ErrNoLabels
+// depends only on the session's host set, model and ontology;
+// ErrEmptySession never reaches the cache (its key is empty).
+func cacheableProfileErr(err error) bool {
+	return err == nil || errors.Is(err, core.ErrNoLabels)
+}
+
+// profile computes one session profile through the LRU cache. Profiler
+// and cache are read under one lock acquisition, so the pair is always
+// from the same generation.
+func (b *Backend) profile(ctx context.Context, session []string) (ontology.Vector, error) {
+	b.mu.Lock()
+	prof, cache := b.profiler, b.pcache
+	b.mu.Unlock()
+	if prof == nil {
+		return nil, errNotTrained
+	}
+	var key string
+	if cache != nil {
+		key = prof.SessionKey(session)
+		if key != "" {
+			if vec, err, ok := cache.get(key); ok {
+				return vec, err
+			}
+		}
+	}
+	vec, err := prof.ProfileSessionContext(ctx, session)
+	if cache != nil && key != "" && cacheableProfileErr(err) {
+		cache.put(key, vec, err)
+	}
+	return vec, err
+}
+
+// ProfileSessions profiles a batch of sessions against the current
+// model: cached sessions are answered from the LRU, the rest fan out
+// over the profiler's batch workers, and fresh deterministic outcomes
+// are memoised. Results align with the input; the error return is
+// global (errNotTrained before the first retrain).
+func (b *Backend) ProfileSessions(ctx context.Context, sessions [][]string) ([]ontology.Vector, []error, error) {
+	b.mu.Lock()
+	prof, cache := b.profiler, b.pcache
+	b.mu.Unlock()
+	if prof == nil {
+		return nil, nil, errNotTrained
+	}
+	vecs := make([]ontology.Vector, len(sessions))
+	errs := make([]error, len(sessions))
+	keys := make([]string, len(sessions))
+	var missIdx []int
+	var missSessions [][]string
+	for i, s := range sessions {
+		if cache != nil {
+			keys[i] = prof.SessionKey(s)
+			if keys[i] != "" {
+				if vec, err, ok := cache.get(keys[i]); ok {
+					vecs[i], errs[i] = vec, err
+					continue
+				}
+			}
+		}
+		missIdx = append(missIdx, i)
+		missSessions = append(missSessions, s)
+	}
+	if len(missIdx) > 0 {
+		mv, me := prof.ProfileSessions(ctx, missSessions)
+		for j, i := range missIdx {
+			vecs[i], errs[i] = mv[j], me[j]
+			if cache != nil && keys[i] != "" && cacheableProfileErr(me[j]) {
+				cache.put(keys[i], mv[j], me[j])
+			}
+		}
+	}
+	return vecs, errs, nil
+}
 
 // observeImpression records one displayed ad, mirroring the campaign
 // maps into per-source gauges.
@@ -526,6 +630,27 @@ type ReportResponse struct {
 	Ads []WireAd `json:"ads"`
 }
 
+// ProfileBatchRequest asks for category profiles of many sessions in
+// one round trip — the offline-analysis companion to /v1/report, which
+// profiles implicitly while serving ads.
+type ProfileBatchRequest struct {
+	Sessions [][]string `json:"sessions"`
+}
+
+// ProfileResult is one session's outcome: the nonzero categories by
+// taxonomy name, or the profiling error (empty session, nothing
+// labelled reachable).
+type ProfileResult struct {
+	Categories map[string]float64 `json:"categories,omitempty"`
+	Error      string             `json:"error,omitempty"`
+}
+
+// ProfileBatchResponse carries one ProfileResult per requested session,
+// in request order.
+type ProfileBatchResponse struct {
+	Profiles []ProfileResult `json:"profiles"`
+}
+
 // FeedbackRequest records an impression or click.
 type FeedbackRequest struct {
 	User    int    `json:"user"`
@@ -537,6 +662,7 @@ type FeedbackRequest struct {
 // Handler returns the backend's HTTP API:
 //
 //	POST /v1/report     ReportRequest  → ReportResponse
+//	POST /v1/profile/batch  ProfileBatchRequest → ProfileBatchResponse
 //	POST /v1/feedback   FeedbackRequest → 204
 //	POST /v1/retrain    (empty)        → 204 (?async=1 → 202)
 //	GET  /v1/stats      → Stats
@@ -554,6 +680,7 @@ func (b *Backend) Handler() http.Handler {
 	// Fault hooks sit inside the admission gate so injected latency
 	// holds an in-flight slot, the way a slow store would.
 	mux.HandleFunc("POST /v1/report", b.instrument("report", b.admit(b.faulty("report", b.handleReport))))
+	mux.HandleFunc("POST /v1/profile/batch", b.instrument("profile_batch", b.admit(b.faulty("profile_batch", b.handleProfileBatch))))
 	mux.HandleFunc("POST /v1/feedback", b.instrument("feedback", b.faulty("feedback", b.handleFeedback)))
 	mux.HandleFunc("POST /v1/retrain", b.instrument("retrain", b.faulty("retrain", b.handleRetrain)))
 	mux.HandleFunc("GET /v1/stats", b.instrument("stats", b.handleStats))
@@ -769,6 +896,53 @@ func (b *Backend) handleReport(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(resp); err != nil {
 		// Response already committed; nothing safe to do.
+		return
+	}
+}
+
+func (b *Backend) handleProfileBatch(w http.ResponseWriter, r *http.Request) {
+	var req ProfileBatchRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	switch {
+	case len(req.Sessions) == 0:
+		writeError(w, http.StatusBadRequest, "empty session list")
+		return
+	case len(req.Sessions) > b.cfg.MaxSessionsPerBatch:
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch carries %d sessions, limit %d", len(req.Sessions), b.cfg.MaxSessionsPerBatch))
+		return
+	}
+	for i, s := range req.Sessions {
+		if len(s) > b.cfg.MaxHostsPerReport {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("session %d carries %d hosts, limit %d", i, len(s), b.cfg.MaxHostsPerReport))
+			return
+		}
+	}
+	vecs, errs, err := b.ProfileSessions(r.Context(), req.Sessions)
+	if errors.Is(err, errNotTrained) {
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	tax := b.cfg.Ontology.Taxonomy()
+	resp := ProfileBatchResponse{Profiles: make([]ProfileResult, len(req.Sessions))}
+	for i := range req.Sessions {
+		if errs[i] != nil {
+			resp.Profiles[i].Error = errs[i].Error()
+			continue
+		}
+		cats := make(map[string]float64)
+		for id, v := range vecs[i] {
+			if v != 0 {
+				cats[tax.Category(id).Name] = v
+			}
+		}
+		resp.Profiles[i].Categories = cats
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
 		return
 	}
 }

@@ -133,6 +133,12 @@ func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
 	if cfg.Observer.Metrics == nil {
 		cfg.Observer.Metrics = reg
 	}
+	if cfg.Profile.Metrics == nil {
+		cfg.Profile.Metrics = reg
+	}
+	if cfg.Profile.Tracer == nil {
+		cfg.Profile.Tracer = cfg.Tracer
+	}
 	st := cfg.Store
 	if st == nil {
 		var err error
@@ -345,6 +351,35 @@ func (p *Pipeline) ProfileSession(hosts []string) (Vector, error) {
 	profiler := p.profiler
 	p.mu.Unlock()
 	return p.profile(profiler, hosts)
+}
+
+// ProfileSessions profiles many sessions in one call, fanning them out
+// over the profiler's worker budget. Results and errors are positional:
+// errs[i] belongs to sessions[i]. Equivalent to
+// ProfileSessionsContext(context.Background(), sessions).
+func (p *Pipeline) ProfileSessions(sessions [][]string) ([]Vector, []error, error) {
+	return p.ProfileSessionsContext(context.Background(), sessions)
+}
+
+// ProfileSessionsContext is ProfileSessions under a caller context: a
+// span carried by ctx parents the batch span, and cancellation stops
+// the fan-out between sessions.
+func (p *Pipeline) ProfileSessionsContext(ctx context.Context, sessions [][]string) ([]Vector, []error, error) {
+	p.mu.Lock()
+	profiler := p.profiler
+	p.mu.Unlock()
+	if profiler == nil {
+		return nil, nil, ErrNotTrained
+	}
+	sp := obs.StartSpan(p.met.profileSeconds)
+	vecs, errs := profiler.ProfileSessions(ctx, sessions)
+	sp.End()
+	for _, err := range errs {
+		if err != nil {
+			p.met.profileErrors.Inc()
+		}
+	}
+	return vecs, errs, nil
 }
 
 // ObserverStats returns packet-level counters. The snapshot is built
