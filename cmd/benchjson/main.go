@@ -1,6 +1,7 @@
 // Command benchjson converts `go test -bench` output read from stdin
 // into a JSON array on stdout, so benchmark trajectories can be tracked
-// machine-readably across PRs (see `make bench-json`).
+// machine-readably across PRs (see `make bench-json`) and gated with
+// `hostprof bench-diff`.
 //
 // Each benchmark line
 //
@@ -16,69 +17,18 @@
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
+
+	"hostprof/internal/benchfmt"
 )
 
-// Result is one parsed benchmark line.
-type Result struct {
-	Name       string             `json:"name"`
-	Procs      int                `json:"procs"`
-	Iterations int64              `json:"iterations"`
-	Metrics    map[string]float64 `json:"metrics"`
-}
-
-// parseLine parses one "Benchmark..." output line; ok is false for
-// non-benchmark lines (headers, PASS, ok, etc.).
-func parseLine(line string) (Result, bool) {
-	fields := strings.Fields(line)
-	if len(fields) < 2 || !strings.HasPrefix(fields[0], "Benchmark") {
-		return Result{}, false
-	}
-	name := strings.TrimPrefix(fields[0], "Benchmark")
-	procs := 1
-	if i := strings.LastIndex(name, "-"); i >= 0 {
-		if p, err := strconv.Atoi(name[i+1:]); err == nil {
-			procs = p
-			name = name[:i]
-		}
-	}
-	iters, err := strconv.ParseInt(fields[1], 10, 64)
-	if err != nil {
-		return Result{}, false
-	}
-	r := Result{Name: name, Procs: procs, Iterations: iters,
-		Metrics: make(map[string]float64)}
-	// The remainder alternates value, unit.
-	for i := 2; i+1 < len(fields); i += 2 {
-		v, err := strconv.ParseFloat(fields[i], 64)
-		if err != nil {
-			continue
-		}
-		r.Metrics[fields[i+1]] = v
-	}
-	return r, true
-}
-
 func main() {
-	var results []Result
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		if r, ok := parseLine(sc.Text()); ok {
-			results = append(results, r)
-		}
-	}
-	if err := sc.Err(); err != nil {
+	results, err := benchfmt.Parse(os.Stdin)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
-	}
-	if results == nil {
-		results = []Result{}
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

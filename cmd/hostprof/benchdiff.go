@@ -1,0 +1,53 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hostprof/internal/benchfmt"
+)
+
+// cmdBenchDiff compares two benchmark-results JSON files (as written
+// by `make bench-json`) and fails when any benchmark regressed beyond
+// the tolerance — the CI perf gate. Benchmarks present on only one
+// side are listed but never fail the gate, so renaming or adding
+// benchmarks stays cheap.
+func cmdBenchDiff(args []string) error {
+	fs := flag.NewFlagSet("bench-diff", flag.ExitOnError)
+	metric := fs.String("metric", "ns/op", "benchmark metric to compare")
+	tolerance := fs.Float64("tolerance", 0.25, "allowed relative growth before a benchmark counts as regressed (0.25 = +25%)")
+	floor := fs.Float64("floor", 1000, "skip benchmarks whose base value is below this (noise); negative compares everything")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: hostprof bench-diff [flags] <base.json> <head.json>")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return fmt.Errorf("expected exactly two result files, got %d", fs.NArg())
+	}
+	base, err := benchfmt.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	head, err := benchfmt.ReadFile(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	rep := benchfmt.Diff(base, head, benchfmt.DiffConfig{
+		Metric:    *metric,
+		Tolerance: *tolerance,
+		Floor:     *floor,
+	})
+	rep.Write(os.Stdout)
+	if rep.Regressions > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %+.0f%% on %s",
+			rep.Regressions, *tolerance*100, *metric)
+	}
+	fmt.Printf("no regressions beyond %+.0f%% on %s (%d compared)\n",
+		*tolerance*100, *metric, len(rep.Deltas))
+	return nil
+}

@@ -9,6 +9,7 @@
 //	hostprof export     dump embeddings in word2vec text format
 //	hostprof serve      run the profiling/ad back-end over HTTP
 //	hostprof report     post one traced session report to a running backend
+//	hostprof bench-diff compare two bench-json files, failing on perf regressions
 //
 // Every subcommand accepts -h for its flags. A typical session:
 //
@@ -47,6 +48,8 @@ func main() {
 		err = cmdServe(os.Args[2:])
 	case "report":
 		err = cmdReport(os.Args[2:])
+	case "bench-diff":
+		err = cmdBenchDiff(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -71,5 +74,6 @@ commands:
   similar   list nearest hostnames in embedding space
   export    dump a model in word2vec text format
   serve     run the profiling/ad back-end over HTTP
-  report    post one traced session report to a running backend`)
+  report    post one traced session report to a running backend
+  bench-diff  compare two bench-json result files; non-zero exit on regression`)
 }

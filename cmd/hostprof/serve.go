@@ -16,6 +16,7 @@ import (
 	"hostprof/internal/ads"
 	"hostprof/internal/core"
 	"hostprof/internal/obs"
+	"hostprof/internal/obs/prof"
 	"hostprof/internal/obs/tracer"
 	"hostprof/internal/ontology"
 	"hostprof/internal/server"
@@ -47,7 +48,12 @@ func cmdServe(args []string) error {
 	httpTimeout := fs.Duration("http-timeout", time.Minute, "HTTP read/write timeout (idle timeout is 4x this)")
 	traceSample := fs.Float64("trace-sample", 1, "request-trace head-sampling rate in [0,1]; errored traces are always kept; 0 disables tracing")
 	traceBuffer := fs.Int("trace-buffer", 256, "completed traces retained for /debug/traces")
-	slowReq := fs.Duration("slow-request", time.Second, "log one structured warning per request slower than this (negative disables)")
+	slowReq := fs.Duration("slow-request", time.Second, "log one structured warning per request slower than this, capture a goroutine+mutex profile tagged with its trace ID (negative disables)")
+	profInterval := fs.Duration("prof-interval", time.Minute, "continuous-profiling cadence: each cycle captures cpu/heap/mutex/block/goroutine into the /debug/prof/ ring (0 keeps only slow-request trigger captures)")
+	mutexFrac := fs.Int("mutex-profile-fraction", 5, "sample 1/n of mutex contention events (runtime.SetMutexProfileFraction; 0 disables)")
+	blockRate := fs.Int("block-profile-rate", 10000, "sample one blocking event per n ns blocked (runtime.SetBlockProfileRate; 0 disables)")
+	sloReport := fs.Duration("slo-report", 250*time.Millisecond, "latency SLO target for /v1/report: 99%% of windowed requests under this, burn rate on hostprof_slo_* (0 disables)")
+	sloProfile := fs.Duration("slo-profile", 500*time.Millisecond, "latency SLO target for /v1/profile/batch (0 disables)")
 	logf := addLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,6 +74,37 @@ func cmdServe(args []string) error {
 		BufferTraces: *traceBuffer,
 		Metrics:      obs.Default,
 	})
+
+	// The continuous profiler is always on: it owns the mutex/block
+	// sampling rates and the /debug/prof/ capture ring, and backs the
+	// slow-request trigger captures even when the background cadence is
+	// disabled with -prof-interval 0.
+	mf, br := *mutexFrac, *blockRate
+	if mf <= 0 {
+		mf = -1
+	}
+	if br <= 0 {
+		br = -1
+	}
+	interval := *profInterval
+	if interval <= 0 {
+		interval = -1
+	}
+	profiler := prof.New(prof.Config{
+		Interval:      interval,
+		MutexFraction: mf,
+		BlockRate:     br,
+		Metrics:       obs.Default,
+	})
+	defer profiler.Stop()
+
+	sloTargets := make(map[string]time.Duration)
+	if *sloReport > 0 {
+		sloTargets["report"] = *sloReport
+	}
+	if *sloProfile > 0 {
+		sloTargets["profile_batch"] = *sloProfile
+	}
 
 	tax := ontology.NewTaxonomy()
 	of, err := os.Open(*ontPath)
@@ -112,6 +149,8 @@ func cmdServe(args []string) error {
 		MaxHostsPerReport:  *maxHosts,
 		Tracer:             trc,
 		SlowRequest:        *slowReq,
+		Profiler:           profiler,
+		SLOTargets:         sloTargets,
 	})
 	if err != nil {
 		return err
@@ -126,6 +165,13 @@ func cmdServe(args []string) error {
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		// Named runtime profiles, mounted explicitly so the on-demand
+		// heap/mutex/block/goroutine views work however the outer mux
+		// routes; sampling rates come from -mutex-profile-fraction /
+		// -block-profile-rate (applied above, with or without -pprof).
+		for _, name := range []string{"heap", "allocs", "mutex", "block", "goroutine", "threadcreate"} {
+			mux.Handle("/debug/pprof/"+name, pprof.Handler(name))
+		}
 		handler = mux
 	}
 
@@ -134,9 +180,9 @@ func cmdServe(args []string) error {
 		slog.Int("labelled_hosts", ont.Len()),
 		slog.Int("ads", db.Len()),
 		slog.Float64("trace_sample", *traceSample))
-	slog.Info("endpoints: POST /v1/report /v1/profile/batch /v1/feedback /v1/retrain[?async=1]; GET /v1/stats /metrics /varz /healthz /debug/traces")
+	slog.Info("endpoints: POST /v1/report /v1/profile/batch /v1/feedback /v1/retrain[?async=1]; GET /v1/stats /metrics /varz /healthz /debug/traces /debug/statusz /debug/prof/")
 	if *withPprof {
-		slog.Info("profiling: GET /debug/pprof/")
+		slog.Info("profiling: GET /debug/pprof/ (incl. heap/allocs/mutex/block/goroutine)")
 	}
 
 	// Serve until SIGTERM/SIGINT, then drain in-flight requests and shut

@@ -1,0 +1,91 @@
+// Package benchfmt parses `go test -bench` output into structured
+// results and diffs two result sets against a tolerance — the shared
+// core behind `make bench-json` (cmd/benchjson) and the CI
+// perf-regression gate (`hostprof bench-diff`).
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Key identifies a benchmark across runs: the name plus the GOMAXPROCS
+// suffix, so workers=4 on 8 procs never diffs against the same bench
+// on 2 procs.
+func (r Result) Key() string {
+	return fmt.Sprintf("%s-%d", r.Name, r.Procs)
+}
+
+// ParseLine parses one "Benchmark..." output line; ok is false for
+// non-benchmark lines (headers, PASS, ok, etc.).
+func ParseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	procs := 1
+	if i := strings.LastIndex(name, "-"); i >= 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			procs = p
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: name, Procs: procs, Iterations: iters,
+		Metrics: make(map[string]float64)}
+	// The remainder alternates value, unit.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, true
+}
+
+// Parse reads `go test -bench` output and returns every benchmark
+// line, in order. The returned slice is never nil.
+func Parse(r io.Reader) ([]Result, error) {
+	results := []Result{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if res, ok := ParseLine(sc.Text()); ok {
+			results = append(results, res)
+		}
+	}
+	return results, sc.Err()
+}
+
+// ReadFile loads a benchmark-results JSON file as written by
+// cmd/benchjson (a top-level array of Result).
+func ReadFile(path string) ([]Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var results []Result
+	if err := json.NewDecoder(f).Decode(&results); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return results, nil
+}

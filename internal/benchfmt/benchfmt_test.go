@@ -1,0 +1,129 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+BenchmarkTrain/workers=4-8   	      10	  11131 ns/op	     42 B/op	       2 allocs/op
+BenchmarkReportIngest/disabled-8 	     100	  74670 ns/op
+PASS
+ok  	hostprof/internal/server	0.128s
+`
+	results, err := Parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(results))
+	}
+	r := results[0]
+	if r.Name != "Train/workers=4" || r.Procs != 8 || r.Iterations != 10 {
+		t.Fatalf("result = %+v", r)
+	}
+	if r.Metrics["ns/op"] != 11131 || r.Metrics["B/op"] != 42 || r.Metrics["allocs/op"] != 2 {
+		t.Fatalf("metrics = %v", r.Metrics)
+	}
+	if results[1].Key() != "ReportIngest/disabled-8" {
+		t.Fatalf("key = %q", results[1].Key())
+	}
+
+	empty, err := Parse(strings.NewReader("PASS\n"))
+	if err != nil || empty == nil || len(empty) != 0 {
+		t.Fatalf("empty parse = %v, %v", empty, err)
+	}
+}
+
+func TestParseLineCustomMetric(t *testing.T) {
+	r, ok := ParseLine("BenchmarkObserve-2 100 5000 ns/op 12.5 visits/op")
+	if !ok {
+		t.Fatal("line not recognized")
+	}
+	if r.Metrics["visits/op"] != 12.5 {
+		t.Fatalf("custom metric lost: %+v", r.Metrics)
+	}
+}
+
+func TestParseLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \thostprof\t1.2s",
+		"BenchmarkBroken notanumber ns/op",
+		"",
+	} {
+		if _, ok := ParseLine(line); ok {
+			t.Fatalf("line %q wrongly accepted", line)
+		}
+	}
+}
+
+func mkResult(name string, nsop float64) Result {
+	return Result{Name: name, Procs: 8, Iterations: 1,
+		Metrics: map[string]float64{"ns/op": nsop}}
+}
+
+func TestDiffRegressionGate(t *testing.T) {
+	base := []Result{
+		mkResult("Fast", 50_000),
+		mkResult("Slow", 2_000_000),
+		mkResult("Gone", 10_000),
+		mkResult("Noise", 200), // below default floor
+	}
+	head := []Result{
+		mkResult("Fast", 55_000),     // +10%: within tolerance
+		mkResult("Slow", 10_000_000), // 5x: regression
+		mkResult("Noise", 20_000),    // 100x but under floor: skipped
+		mkResult("New", 1_000),
+	}
+	rep := Diff(base, head, DiffConfig{})
+	if rep.Regressions != 1 {
+		t.Fatalf("regressions = %d, want 1", rep.Regressions)
+	}
+	byKey := make(map[string]Delta)
+	for _, d := range rep.Deltas {
+		byKey[d.Key] = d
+	}
+	if byKey["Fast-8"].Regression {
+		t.Fatal("within-tolerance growth flagged as regression")
+	}
+	if d := byKey["Slow-8"]; !d.Regression || d.Ratio != 5 {
+		t.Fatalf("Slow delta = %+v", d)
+	}
+	if d := byKey["Noise-8"]; !d.Skipped || d.Regression {
+		t.Fatalf("sub-floor bench not skipped: %+v", d)
+	}
+	if len(rep.OnlyBase) != 1 || rep.OnlyBase[0] != "Gone-8" {
+		t.Fatalf("OnlyBase = %v", rep.OnlyBase)
+	}
+	if len(rep.OnlyHead) != 1 || rep.OnlyHead[0] != "New-8" {
+		t.Fatalf("OnlyHead = %v", rep.OnlyHead)
+	}
+
+	var sb strings.Builder
+	rep.Write(&sb)
+	table := sb.String()
+	for _, want := range []string{"REGRESSION", "below noise floor", "only in base", "only in head", "5.00x"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestDiffCustomMetricAndTolerance(t *testing.T) {
+	base := []Result{{Name: "A", Procs: 8, Metrics: map[string]float64{"allocs/op": 10_000}}}
+	head := []Result{{Name: "A", Procs: 8, Metrics: map[string]float64{"allocs/op": 10_600}}}
+	if rep := Diff(base, head, DiffConfig{Metric: "allocs/op", Tolerance: 0.05}); rep.Regressions != 1 {
+		t.Fatalf("6%% growth at 5%% tolerance: regressions = %d, want 1", rep.Regressions)
+	}
+	if rep := Diff(base, head, DiffConfig{Metric: "allocs/op", Tolerance: 0.10}); rep.Regressions != 0 {
+		t.Fatalf("6%% growth at 10%% tolerance: regressions = %d, want 0", rep.Regressions)
+	}
+	// A metric absent on either side is not comparable, never a regression.
+	if rep := Diff(base, head, DiffConfig{Metric: "B/op"}); rep.Regressions != 0 || len(rep.Deltas) != 0 {
+		t.Fatalf("absent metric compared: %+v", rep)
+	}
+}

@@ -1,0 +1,126 @@
+package benchfmt
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// DiffConfig controls what counts as a regression.
+type DiffConfig struct {
+	// Metric is the compared metric name. Empty selects "ns/op".
+	Metric string
+	// Tolerance is the allowed relative growth: a head value above
+	// base*(1+Tolerance) is a regression. Zero selects 0.25; single-shot
+	// CI benchmarks are noisy, so gates should be generous and catch
+	// order-of-magnitude cliffs, not 5% drift.
+	Tolerance float64
+	// Floor skips comparisons whose base value is below this, in the
+	// metric's unit — sub-microsecond benches jitter far beyond any
+	// sane tolerance. Zero selects 1000 (1µs for ns/op); negative
+	// compares everything.
+	Floor float64
+}
+
+// A Delta is one benchmark compared across two runs.
+type Delta struct {
+	Key        string  `json:"key"`
+	Base       float64 `json:"base"`
+	Head       float64 `json:"head"`
+	Ratio      float64 `json:"ratio"` // head/base; >1 is slower
+	Regression bool    `json:"regression"`
+	// Skipped marks comparisons under the noise floor.
+	Skipped bool `json:"skipped,omitempty"`
+}
+
+// A DiffReport is the outcome of comparing two benchmark runs.
+type DiffReport struct {
+	Metric      string
+	Tolerance   float64
+	Deltas      []Delta  // sorted by key
+	OnlyBase    []string // benchmarks that disappeared
+	OnlyHead    []string // benchmarks that are new
+	Regressions int
+}
+
+// Diff compares head against base benchmark results. Benchmarks
+// present on only one side are reported but are never regressions:
+// renames and new benches must not break the gate.
+func Diff(base, head []Result, cfg DiffConfig) DiffReport {
+	if cfg.Metric == "" {
+		cfg.Metric = "ns/op"
+	}
+	if cfg.Tolerance == 0 {
+		cfg.Tolerance = 0.25
+	}
+	if cfg.Floor == 0 {
+		cfg.Floor = 1000
+	}
+	rep := DiffReport{Metric: cfg.Metric, Tolerance: cfg.Tolerance}
+	baseBy := make(map[string]Result, len(base))
+	for _, r := range base {
+		baseBy[r.Key()] = r
+	}
+	headSeen := make(map[string]bool, len(head))
+	for _, h := range head {
+		key := h.Key()
+		headSeen[key] = true
+		b, ok := baseBy[key]
+		if !ok {
+			rep.OnlyHead = append(rep.OnlyHead, key)
+			continue
+		}
+		bv, bok := b.Metrics[cfg.Metric]
+		hv, hok := h.Metrics[cfg.Metric]
+		if !bok || !hok {
+			continue
+		}
+		d := Delta{Key: key, Base: bv, Head: hv}
+		if bv > 0 {
+			d.Ratio = hv / bv
+		}
+		if bv < cfg.Floor {
+			d.Skipped = true
+		} else if hv > bv*(1+cfg.Tolerance) {
+			d.Regression = true
+			rep.Regressions++
+		}
+		rep.Deltas = append(rep.Deltas, d)
+	}
+	for key := range baseBy {
+		if !headSeen[key] {
+			rep.OnlyBase = append(rep.OnlyBase, key)
+		}
+	}
+	sort.Slice(rep.Deltas, func(i, j int) bool { return rep.Deltas[i].Key < rep.Deltas[j].Key })
+	sort.Strings(rep.OnlyBase)
+	sort.Strings(rep.OnlyHead)
+	return rep
+}
+
+// Write renders the report as an aligned table, flagging regressions.
+func (rep DiffReport) Write(w io.Writer) {
+	width := 0
+	for _, d := range rep.Deltas {
+		if len(d.Key) > width {
+			width = len(d.Key)
+		}
+	}
+	fmt.Fprintf(w, "%-*s  %14s  %14s  %7s\n", width, "benchmark", "base "+rep.Metric, "head "+rep.Metric, "ratio")
+	for _, d := range rep.Deltas {
+		note := ""
+		switch {
+		case d.Skipped:
+			note = "  (below noise floor)"
+		case d.Regression:
+			note = fmt.Sprintf("  REGRESSION (>%+.0f%%)", rep.Tolerance*100)
+		}
+		fmt.Fprintf(w, "%-*s  %14.1f  %14.1f  %6.2fx%s\n", width, d.Key, d.Base, d.Head, d.Ratio, note)
+	}
+	for _, key := range rep.OnlyBase {
+		fmt.Fprintf(w, "%-*s  only in base\n", width, key)
+	}
+	for _, key := range rep.OnlyHead {
+		fmt.Fprintf(w, "%-*s  only in head\n", width, key)
+	}
+}

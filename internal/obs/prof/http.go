@@ -1,0 +1,85 @@
+package prof
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Handler serves the capture ring under a /debug/prof/ mount:
+//
+//	GET <mount>/                 → HTML index of retained captures
+//	GET <mount>/?format=json     → {"captures": [Capture...]} (metadata)
+//	GET <mount>/?trace=<hex id>  → captures tagged with that trace ID
+//	GET <mount>/<id>             → pprof-gzip bytes (feed to `go tool pprof`)
+//
+// Safe on a nil receiver (serves 404s).
+func (p *Profiler) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if p == nil {
+			http.Error(w, "profiling disabled", http.StatusNotFound)
+			return
+		}
+		// The final path element selects a capture; bare mount lists.
+		rest := r.URL.Path[strings.LastIndexByte(r.URL.Path, '/')+1:]
+		if rest != "" {
+			id, err := strconv.ParseUint(rest, 10, 64)
+			if err != nil {
+				http.Error(w, "bad capture id", http.StatusBadRequest)
+				return
+			}
+			c := p.ring.Get(id)
+			if c == nil {
+				http.Error(w, "no such capture (evicted?)", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("Content-Disposition",
+				fmt.Sprintf(`attachment; filename="%s-%d.pb.gz"`, c.Kind, c.ID))
+			w.Write(c.Bytes)
+			return
+		}
+		var captures []*Capture
+		if id := r.URL.Query().Get("trace"); id != "" {
+			captures = p.ring.ByTrace(id)
+		} else {
+			captures = p.ring.Snapshot()
+		}
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			if captures == nil {
+				captures = []*Capture{}
+			}
+			json.NewEncoder(w).Encode(map[string]any{"captures": captures})
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		writeCaptureIndex(w, r.URL.Path, captures)
+	})
+}
+
+// writeCaptureIndex renders the ring as a minimal HTML table, newest
+// first, with download links.
+func writeCaptureIndex(w http.ResponseWriter, mount string, captures []*Capture) {
+	fmt.Fprintf(w, "<!DOCTYPE html><html><head><title>hostprof profiles</title></head><body>")
+	fmt.Fprintf(w, "<h1>profile ring (%d captures)</h1>", len(captures))
+	fmt.Fprintf(w, "<p>Download a capture and inspect it with <code>go tool pprof &lt;file&gt;</code>; diff two snapshots of the same kind with <code>-diff_base</code>.</p>")
+	fmt.Fprintf(w, "<table border=1 cellpadding=4><tr><th>id</th><th>kind</th><th>reason</th><th>trace</th><th>time</th><th>size</th></tr>")
+	for i := len(captures) - 1; i >= 0; i-- {
+		c := captures[i]
+		trace := ""
+		if c.TraceID != "" {
+			trace = fmt.Sprintf(`<a href="/debug/traces?trace=%s">%s</a>`,
+				html.EscapeString(c.TraceID), html.EscapeString(c.TraceID))
+		}
+		fmt.Fprintf(w, `<tr><td><a href="%s%d">%d</a></td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%d</td></tr>`,
+			html.EscapeString(mount), c.ID, c.ID,
+			html.EscapeString(c.Kind), html.EscapeString(c.Reason), trace,
+			time.Unix(0, c.UnixNano).UTC().Format(time.RFC3339), c.Size)
+	}
+	fmt.Fprintf(w, "</table></body></html>")
+}

@@ -1,0 +1,535 @@
+package prof
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hostprof/internal/obs"
+)
+
+// --- Windowed quantiles -------------------------------------------------
+
+// fineBuckets give the estimator enough resolution that interpolation
+// error stays well under the assertion tolerances below.
+var fineBuckets = func() []float64 {
+	var b []float64
+	for v := 0.01; v <= 10.001; v += 0.01 {
+		b = append(b, v)
+	}
+	return b
+}()
+
+func TestQuantileUniform(t *testing.T) {
+	w := NewWindowed(time.Minute, 4, fineBuckets)
+	// Uniform on (0, 10]: quantile q should be ~10q.
+	for i := 1; i <= 10000; i++ {
+		w.Observe(float64(i) / 1000.0)
+	}
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.9, 0.99} {
+		got := w.Quantile(q)
+		want := 10 * q
+		if math.Abs(got-want) > 0.05 {
+			t.Errorf("uniform q=%.2f: got %.4f want %.4f", q, got, want)
+		}
+	}
+}
+
+func TestQuantileBimodal(t *testing.T) {
+	w := NewWindowed(time.Minute, 4, fineBuckets)
+	// 90% fast (~50ms), 10% slow (~5s): p50 must sit in the fast mode,
+	// p99 in the slow mode.
+	for i := 0; i < 900; i++ {
+		w.Observe(0.05)
+	}
+	for i := 0; i < 100; i++ {
+		w.Observe(5.0)
+	}
+	if p50 := w.Quantile(0.5); p50 > 0.1 {
+		t.Errorf("p50 = %.3f, want <= 0.1", p50)
+	}
+	if p99 := w.Quantile(0.99); p99 < 4.5 {
+		t.Errorf("p99 = %.3f, want >= 4.5", p99)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	w := NewWindowed(time.Minute, 4, nil)
+	if got := w.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("empty window: got %v, want NaN", got)
+	}
+	w.Observe(0.3)
+	if got := w.Quantile(-0.1); !math.IsNaN(got) {
+		t.Errorf("q<0: got %v, want NaN", got)
+	}
+	if got := w.Quantile(1.1); !math.IsNaN(got) {
+		t.Errorf("q>1: got %v, want NaN", got)
+	}
+	var nilW *Windowed
+	nilW.Observe(1) // must not panic
+	if got := nilW.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("nil estimator: got %v, want NaN", got)
+	}
+	if c := nilW.Count(); c != 0 {
+		t.Errorf("nil estimator count = %d", c)
+	}
+}
+
+func TestWindowDecay(t *testing.T) {
+	w := NewWindowed(time.Minute, 4, fineBuckets) // 15s slices
+	clock := int64(0)
+	w.setNow(func() int64 { return clock })
+	for i := 0; i < 100; i++ {
+		w.Observe(1.0)
+	}
+	if c := w.Count(); c != 100 {
+		t.Fatalf("count = %d, want 100", c)
+	}
+	// Advance two slices: old samples still inside the window.
+	clock += 2 * 15 * int64(time.Second)
+	for i := 0; i < 100; i++ {
+		w.Observe(9.0)
+	}
+	if c := w.Count(); c != 200 {
+		t.Fatalf("mid-window count = %d, want 200", c)
+	}
+	if p50 := w.Quantile(0.5); p50 < 0.9 || p50 > 9.1 {
+		t.Fatalf("mixed p50 = %.3f", p50)
+	}
+	// Advance past the window for the first batch only: the 1.0s
+	// samples expire, the 9.0s samples remain.
+	clock += 3 * 15 * int64(time.Second)
+	if c := w.Count(); c != 100 {
+		t.Fatalf("post-decay count = %d, want 100", c)
+	}
+	if p50 := w.Quantile(0.5); math.Abs(p50-9.0) > 0.1 {
+		t.Fatalf("post-decay p50 = %.3f, want ~9.0", p50)
+	}
+	// A full window later everything is gone.
+	clock += 5 * 15 * int64(time.Second)
+	if c := w.Count(); c != 0 {
+		t.Fatalf("expired count = %d, want 0", c)
+	}
+}
+
+func TestQuantileMerge(t *testing.T) {
+	// Quantiles over merged count vectors must match a single estimator
+	// that saw the union of the observations.
+	a := NewWindowed(time.Minute, 4, fineBuckets)
+	b := NewWindowed(time.Minute, 4, fineBuckets)
+	all := NewWindowed(time.Minute, 4, fineBuckets)
+	for i := 1; i <= 1000; i++ {
+		v := float64(i) / 200.0
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+		all.Observe(v)
+	}
+	ca, na := a.Snapshot()
+	cb, nb := b.Snapshot()
+	merged := make([]int64, len(ca))
+	for i := range ca {
+		merged[i] = ca[i] + cb[i]
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		got := EstimateQuantile(a.Buckets(), merged, na+nb, q)
+		want := all.Quantile(q)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("merged q=%.2f: got %v want %v", q, got, want)
+		}
+	}
+}
+
+func TestCountAboveExactAtBound(t *testing.T) {
+	w := NewWindowed(time.Minute, 4, []float64{0.1, 0.25, 0.5})
+	for _, v := range []float64{0.05, 0.1, 0.25, 0.26, 0.7, 3} {
+		w.Observe(v)
+	}
+	// Values equal to the bound are not "above" it.
+	above, total := w.CountAbove(0.25)
+	if total != 6 || above != 3 {
+		t.Fatalf("CountAbove(0.25) = (%d, %d), want (3, 6)", above, total)
+	}
+}
+
+// --- Ring ---------------------------------------------------------------
+
+func TestRingCountEviction(t *testing.T) {
+	r := NewRing(3, 1<<20)
+	var ids []uint64
+	for i := 0; i < 5; i++ {
+		ids = append(ids, r.Add(Capture{Kind: "heap", Bytes: []byte{1, 2, 3}}))
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len = %d, want 3", r.Len())
+	}
+	if r.Get(ids[0]) != nil || r.Get(ids[1]) != nil {
+		t.Fatal("oldest captures not evicted")
+	}
+	for _, id := range ids[2:] {
+		if r.Get(id) == nil {
+			t.Fatalf("capture %d missing", id)
+		}
+	}
+}
+
+func TestRingByteEviction(t *testing.T) {
+	r := NewRing(100, 100)
+	big := make([]byte, 40)
+	id1 := r.Add(Capture{Kind: "heap", Bytes: big})
+	id2 := r.Add(Capture{Kind: "heap", Bytes: big})
+	id3 := r.Add(Capture{Kind: "heap", Bytes: big}) // 120 > 100: evict id1
+	if r.Get(id1) != nil {
+		t.Fatal("byte cap did not evict oldest")
+	}
+	if r.Get(id2) == nil || r.Get(id3) == nil {
+		t.Fatal("newer captures missing")
+	}
+	if got := r.Bytes(); got != 80 {
+		t.Fatalf("bytes = %d, want 80", got)
+	}
+	// An oversized capture is rejected outright, not allowed to flush
+	// the ring.
+	if id := r.Add(Capture{Kind: "cpu", Bytes: make([]byte, 200)}); id != 0 {
+		t.Fatalf("oversized capture accepted with id %d", id)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("ring flushed by oversized capture: len=%d", r.Len())
+	}
+}
+
+func TestRingByTrace(t *testing.T) {
+	r := NewRing(10, 1<<20)
+	r.Add(Capture{Kind: "goroutine", TraceID: "aaaa", Bytes: []byte{1}})
+	r.Add(Capture{Kind: "mutex", TraceID: "aaaa", Bytes: []byte{2}})
+	r.Add(Capture{Kind: "heap", Bytes: []byte{3}})
+	got := r.ByTrace("aaaa")
+	if len(got) != 2 || got[0].Kind != "goroutine" || got[1].Kind != "mutex" {
+		t.Fatalf("ByTrace = %+v", got)
+	}
+	if r.ByTrace("bbbb") != nil {
+		t.Fatal("ByTrace on unknown trace should be nil")
+	}
+	var nilR *Ring
+	if nilR.Add(Capture{}) != 0 || nilR.Get(1) != nil || nilR.Len() != 0 {
+		t.Fatal("nil ring not inert")
+	}
+}
+
+// --- Profiler -----------------------------------------------------------
+
+func TestCaptureNamedAndSlow(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := New(Config{
+		Interval:        -1, // no background loop
+		TriggerCooldown: time.Hour,
+		Metrics:         reg,
+		MutexFraction:   -1,
+		BlockRate:       -1,
+	})
+	defer p.Stop()
+	id := p.CaptureNamed("heap", "interval", "")
+	if id == 0 {
+		t.Fatal("heap capture failed")
+	}
+	c := p.Ring().Get(id)
+	if c == nil || len(c.Bytes) == 0 {
+		t.Fatal("capture empty")
+	}
+	// pprof WriteTo(debug=0) output is gzip: magic bytes 1f 8b.
+	if c.Bytes[0] != 0x1f || c.Bytes[1] != 0x8b {
+		t.Fatalf("capture is not gzip: % x", c.Bytes[:2])
+	}
+	if p.CaptureNamed("no-such-profile", "interval", "") != 0 {
+		t.Fatal("unknown profile kind should fail")
+	}
+
+	ids := p.CaptureSlow("deadbeef")
+	if len(ids) != 2 {
+		t.Fatalf("CaptureSlow ids = %v, want 2 captures", ids)
+	}
+	byTrace := p.Ring().ByTrace("deadbeef")
+	if len(byTrace) != 2 {
+		t.Fatalf("trace-tagged captures = %d, want 2", len(byTrace))
+	}
+	kinds := map[string]bool{}
+	for _, c := range byTrace {
+		kinds[c.Kind] = true
+	}
+	if !kinds["goroutine"] || !kinds["mutex"] {
+		t.Fatalf("trigger kinds = %v", kinds)
+	}
+	// Inside the cooldown the trigger is suppressed.
+	if got := p.CaptureSlow("cafe"); got != nil {
+		t.Fatalf("cooldown not enforced: %v", got)
+	}
+	if v := reg.Counter("hostprof_prof_triggers_suppressed_total").Value(); v != 1 {
+		t.Fatalf("suppressed counter = %d", v)
+	}
+}
+
+func TestProfilerBackgroundLoopAndStop(t *testing.T) {
+	p := New(Config{
+		Interval:      50 * time.Millisecond,
+		CPUDuration:   10 * time.Millisecond,
+		MutexFraction: -1,
+		BlockRate:     -1,
+	})
+	deadline := time.After(5 * time.Second)
+	for p.Ring().Len() < 4 {
+		select {
+		case <-deadline:
+			t.Fatalf("background loop captured only %d profiles", p.Ring().Len())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	p.Stop()
+	p.Stop() // idempotent
+	n := p.Ring().Len()
+	time.Sleep(80 * time.Millisecond)
+	if p.Ring().Len() != n {
+		t.Fatal("loop still capturing after Stop")
+	}
+}
+
+func TestNilProfilerZeroAlloc(t *testing.T) {
+	// The disabled path — nil profiler, nil SLO — must not allocate on
+	// the request path, matching the tracer's contract.
+	var p *Profiler
+	var s *SLO
+	var l *SlowLog
+	allocs := testing.AllocsPerRun(1000, func() {
+		if ids := p.CaptureSlow("id"); ids != nil {
+			t.Fatal("nil profiler captured")
+		}
+		s.Observe(0.001)
+		l.Add(SlowEntry{})
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// --- SLO tracker --------------------------------------------------------
+
+func TestSLOBurnRate(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := NewSLOTracker(time.Minute, reg)
+	s := tr.Register("report", 100*time.Millisecond)
+	// 95 fast, 5 slow → breach ratio 5%, burn rate 5 against the 1%
+	// budget.
+	for i := 0; i < 95; i++ {
+		s.Observe(0.010)
+	}
+	for i := 0; i < 5; i++ {
+		s.Observe(0.500)
+	}
+	st := s.Status()
+	if st.WindowRequests != 100 {
+		t.Fatalf("window requests = %d", st.WindowRequests)
+	}
+	if math.Abs(st.BreachRatio-0.05) > 1e-9 {
+		t.Fatalf("breach ratio = %v", st.BreachRatio)
+	}
+	if math.Abs(st.BurnRate-5.0) > 1e-9 {
+		t.Fatalf("burn rate = %v", st.BurnRate)
+	}
+	if st.P50 > 0.1 || st.P99 < 0.1 {
+		t.Fatalf("quantiles p50=%v p99=%v", st.P50, st.P99)
+	}
+	// The gauges exist and agree.
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `hostprof_slo_burn_rate{endpoint="report"} 5`) {
+		t.Fatalf("burn-rate gauge missing:\n%s", out)
+	}
+	if !strings.Contains(out, `hostprof_slo_target_seconds{endpoint="report"} 0.1`) {
+		t.Fatalf("target gauge missing:\n%s", out)
+	}
+}
+
+func TestSLOExactBoundarySemantics(t *testing.T) {
+	tr := NewSLOTracker(time.Minute, nil)
+	s := tr.Register("report", 250*time.Millisecond)
+	s.Observe(0.250) // exactly on target: within SLO
+	s.Observe(0.251) // breach
+	st := s.Status()
+	if math.Abs(st.BreachRatio-0.5) > 1e-9 {
+		t.Fatalf("breach ratio = %v, want 0.5 (exact-boundary sample must not breach)", st.BreachRatio)
+	}
+}
+
+func TestSLOTrackerNilAndStatus(t *testing.T) {
+	var tr *SLOTracker
+	if tr.Register("x", time.Second) != nil {
+		t.Fatal("nil tracker registered an SLO")
+	}
+	if tr.Status() != nil || tr.Get("x") != nil {
+		t.Fatal("nil tracker not inert")
+	}
+	real := NewSLOTracker(0, nil)
+	if real.Register("b", 0) != nil {
+		t.Fatal("non-positive target should not register")
+	}
+	real.Register("b", time.Second)
+	real.Register("a", time.Second)
+	if same := real.Register("a", 2*time.Second); same != real.Get("a") {
+		t.Fatal("re-register must return the existing SLO")
+	}
+	st := real.Status()
+	if len(st) != 2 || st[0].Endpoint != "a" || st[1].Endpoint != "b" {
+		t.Fatalf("status order = %+v", st)
+	}
+	var nilSLO *SLO
+	nilSLO.Observe(1)
+	if got := nilSLO.Status(); got.WindowRequests != 0 {
+		t.Fatal("nil SLO not inert")
+	}
+}
+
+// --- HTTP: profile index + statusz -------------------------------------
+
+func TestProfHandler(t *testing.T) {
+	p := New(Config{Interval: -1, MutexFraction: -1, BlockRate: -1, TriggerCooldown: time.Hour})
+	id := p.CaptureNamed("heap", "interval", "")
+	ids := p.CaptureSlow("feedface")
+	if id == 0 || len(ids) != 2 {
+		t.Fatalf("capture setup failed: id=%d ids=%v", id, ids)
+	}
+	h := p.Handler()
+
+	get := func(url string) *httptest.ResponseRecorder {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest("GET", url, nil))
+		return rr
+	}
+
+	// Download: raw gzip bytes with an attachment header.
+	rr := get(fmt.Sprintf("/debug/prof/%d", id))
+	if rr.Code != 200 {
+		t.Fatalf("download code = %d", rr.Code)
+	}
+	body, _ := io.ReadAll(rr.Body)
+	if len(body) < 2 || body[0] != 0x1f || body[1] != 0x8b {
+		t.Fatal("download is not the pprof gzip")
+	}
+	if cd := rr.Header().Get("Content-Disposition"); !strings.Contains(cd, "heap") {
+		t.Fatalf("content-disposition = %q", cd)
+	}
+
+	// JSON index.
+	rr = get("/debug/prof/?format=json")
+	var idx struct {
+		Captures []Capture `json:"captures"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &idx); err != nil {
+		t.Fatal(err)
+	}
+	if len(idx.Captures) != 3 {
+		t.Fatalf("index lists %d captures, want 3", len(idx.Captures))
+	}
+
+	// Trace-filtered index: only the trigger captures.
+	rr = get("/debug/prof/?trace=feedface&format=json")
+	idx.Captures = nil
+	if err := json.Unmarshal(rr.Body.Bytes(), &idx); err != nil {
+		t.Fatal(err)
+	}
+	if len(idx.Captures) != 2 {
+		t.Fatalf("trace filter lists %d captures, want 2", len(idx.Captures))
+	}
+
+	// HTML index links the trace.
+	rr = get("/debug/prof/")
+	if !strings.Contains(rr.Body.String(), "/debug/traces?trace=feedface") {
+		t.Fatal("HTML index does not link the trace")
+	}
+
+	// Errors.
+	if got := get("/debug/prof/notanumber").Code; got != 400 {
+		t.Fatalf("bad id code = %d", got)
+	}
+	if got := get("/debug/prof/99999").Code; got != 404 {
+		t.Fatalf("missing id code = %d", got)
+	}
+	var nilP *Profiler
+	rr = httptest.NewRecorder()
+	nilP.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/prof/", nil))
+	if rr.Code != 404 {
+		t.Fatalf("nil profiler handler code = %d", rr.Code)
+	}
+}
+
+func TestStatuszRendering(t *testing.T) {
+	s := NewStatusz()
+	s.Section("slo", func() any {
+		return []SLOStatus{{Endpoint: "report", TargetSeconds: 0.25, BurnRate: 2.5}}
+	})
+	s.Section("store", func() any { return map[string]any{"degraded": false} })
+	// Replacing a section keeps its position and does not duplicate.
+	s.Section("store", func() any { return map[string]any{"degraded": true} })
+
+	rr := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/statusz?format=json", nil))
+	var page map[string]json.RawMessage
+	if err := json.Unmarshal(rr.Body.Bytes(), &page); err != nil {
+		t.Fatal(err)
+	}
+	if len(page) != 3 {
+		t.Fatalf("sections = %d, want 3 (build, slo, store)", len(page))
+	}
+	if _, ok := page["build"]; !ok {
+		t.Fatal("build section missing")
+	}
+	var store map[string]bool
+	if err := json.Unmarshal(page["store"], &store); err != nil {
+		t.Fatal(err)
+	}
+	if !store["degraded"] {
+		t.Fatal("section replacement did not take")
+	}
+
+	rr = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/statusz", nil))
+	html := rr.Body.String()
+	for _, want := range []string{"<h2>build</h2>", "<h2>slo</h2>", "<h2>store</h2>", "go_version", "burn_rate"} {
+		if !strings.Contains(html, want) {
+			t.Fatalf("HTML statusz missing %q:\n%s", want, html)
+		}
+	}
+	if idx := strings.Index(html, "<h2>slo</h2>"); idx > strings.Index(html, "<h2>store</h2>") {
+		t.Fatal("sections out of registration order")
+	}
+
+	var nilS *Statusz
+	nilS.Section("x", func() any { return nil })
+	rr = httptest.NewRecorder()
+	nilS.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/statusz", nil))
+	if rr.Code != 404 {
+		t.Fatalf("nil statusz code = %d", rr.Code)
+	}
+}
+
+func TestSlowLog(t *testing.T) {
+	l := NewSlowLog(2)
+	l.Add(SlowEntry{Endpoint: "a", Seconds: 1})
+	l.Add(SlowEntry{Endpoint: "b", Seconds: 2})
+	l.Add(SlowEntry{Endpoint: "c", Seconds: 3})
+	got := l.Snapshot()
+	if len(got) != 2 || got[0].Endpoint != "c" || got[1].Endpoint != "b" {
+		t.Fatalf("slow log = %+v", got)
+	}
+	if got[0].UnixNano == 0 {
+		t.Fatal("timestamp not stamped")
+	}
+}

@@ -1,0 +1,248 @@
+package prof
+
+import (
+	"bytes"
+	"log/slog"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hostprof/internal/obs"
+)
+
+// Config assembles a Profiler.
+type Config struct {
+	// Interval is the background capture cadence; each cycle records a
+	// CPU profile plus heap/mutex/block/goroutine snapshots into the
+	// ring. Zero selects 1 minute; negative disables the background
+	// loop (trigger captures still work).
+	Interval time.Duration
+	// CPUDuration is the CPU-profile window per cycle. Zero selects 5s;
+	// it is clamped below Interval so cycles never overlap.
+	CPUDuration time.Duration
+	// MaxCaptures / MaxBytes cap the ring (defaults 64 / 32 MiB).
+	MaxCaptures int
+	MaxBytes    int64
+	// MutexFraction is passed to runtime.SetMutexProfileFraction: 1/n
+	// of contention events are sampled. Zero selects 5 (cheap,
+	// production-safe); negative leaves the runtime setting untouched.
+	MutexFraction int
+	// BlockRate is passed to runtime.SetBlockProfileRate, in
+	// nanoseconds blocked per sample. Zero selects 10µs; negative
+	// leaves the runtime setting untouched.
+	BlockRate int
+	// TriggerCooldown is the minimum gap between slow-request trigger
+	// captures, bounding capture storms when every request is slow.
+	// Zero selects 10s; negative disables the cooldown (tests).
+	TriggerCooldown time.Duration
+	// Metrics, when non-nil, receives hostprof_prof_* series.
+	Metrics *obs.Registry
+	// Logger receives capture errors. Nil selects slog.Default().
+	Logger *slog.Logger
+}
+
+// A Profiler owns the capture ring and the background capture loop.
+// All methods are safe for concurrent use and on a nil receiver; a nil
+// Profiler is the disabled state and costs a nil check per call site.
+type Profiler struct {
+	cfg  Config
+	ring *Ring
+	log  *slog.Logger
+
+	captures  *obs.Counter
+	errors    *obs.Counter
+	triggers  *obs.Counter
+	supressed *obs.Counter
+
+	lastTrigger atomic.Int64 // unix nanos of the last trigger capture
+
+	mu      sync.Mutex
+	stop    chan struct{}
+	stopped chan struct{}
+}
+
+// New builds a Profiler, applies the mutex/block sampling rates to the
+// runtime, and starts the background loop (unless Interval < 0). Call
+// Stop to halt the loop.
+func New(cfg Config) *Profiler {
+	if cfg.Interval == 0 {
+		cfg.Interval = time.Minute
+	}
+	if cfg.CPUDuration <= 0 {
+		cfg.CPUDuration = 5 * time.Second
+	}
+	if cfg.Interval > 0 && cfg.CPUDuration > cfg.Interval/2 {
+		cfg.CPUDuration = cfg.Interval / 2
+	}
+	if cfg.MutexFraction == 0 {
+		cfg.MutexFraction = 5
+	}
+	if cfg.BlockRate == 0 {
+		cfg.BlockRate = 10_000
+	}
+	if cfg.TriggerCooldown == 0 {
+		cfg.TriggerCooldown = 10 * time.Second
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	if cfg.MutexFraction > 0 {
+		runtime.SetMutexProfileFraction(cfg.MutexFraction)
+	}
+	if cfg.BlockRate > 0 {
+		runtime.SetBlockProfileRate(cfg.BlockRate)
+	}
+	p := &Profiler{
+		cfg:  cfg,
+		ring: NewRing(cfg.MaxCaptures, cfg.MaxBytes),
+		log:  cfg.Logger,
+	}
+	if reg := cfg.Metrics; reg != nil {
+		reg.Describe("hostprof_prof_captures_total", "profiles captured into the ring")
+		reg.Describe("hostprof_prof_capture_errors_total", "profile captures that failed")
+		reg.Describe("hostprof_prof_triggers_total", "slow-request trigger captures")
+		reg.Describe("hostprof_prof_triggers_suppressed_total", "trigger captures skipped inside the cooldown window")
+		reg.Describe("hostprof_prof_ring_captures", "profiles currently retained in the ring")
+		reg.Describe("hostprof_prof_ring_bytes", "total pprof bytes retained in the ring")
+		p.captures = reg.Counter("hostprof_prof_captures_total")
+		p.errors = reg.Counter("hostprof_prof_capture_errors_total")
+		p.triggers = reg.Counter("hostprof_prof_triggers_total")
+		p.supressed = reg.Counter("hostprof_prof_triggers_suppressed_total")
+		reg.GaugeFunc("hostprof_prof_ring_captures", func() float64 { return float64(p.ring.Len()) })
+		reg.GaugeFunc("hostprof_prof_ring_bytes", func() float64 { return float64(p.ring.Bytes()) })
+	}
+	if cfg.Interval > 0 {
+		p.stop = make(chan struct{})
+		p.stopped = make(chan struct{})
+		go p.loop()
+	}
+	return p
+}
+
+// Enabled reports whether the profiler can capture. Safe on nil.
+func (p *Profiler) Enabled() bool { return p != nil }
+
+// Ring returns the capture ring (nil on a nil profiler).
+func (p *Profiler) Ring() *Ring {
+	if p == nil {
+		return nil
+	}
+	return p.ring
+}
+
+// Stop halts the background loop and waits for an in-flight cycle
+// (including its CPU window) to finish. Idempotent; safe on nil.
+func (p *Profiler) Stop() {
+	if p == nil || p.stop == nil {
+		return
+	}
+	p.mu.Lock()
+	select {
+	case <-p.stop:
+	default:
+		close(p.stop)
+	}
+	p.mu.Unlock()
+	<-p.stopped
+}
+
+// loop is the background capture cycle: one CPU window plus the named
+// snapshots, then sleep out the remainder of the interval.
+func (p *Profiler) loop() {
+	defer close(p.stopped)
+	for {
+		select {
+		case <-p.stop:
+			return
+		default:
+		}
+		start := time.Now()
+		p.captureCPU(p.cfg.CPUDuration)
+		for _, kind := range []string{"heap", "mutex", "block", "goroutine"} {
+			p.CaptureNamed(kind, "interval", "")
+		}
+		rest := p.cfg.Interval - time.Since(start)
+		if rest < time.Second {
+			rest = time.Second
+		}
+		select {
+		case <-p.stop:
+			return
+		case <-time.After(rest):
+		}
+	}
+}
+
+// captureCPU records one CPU-profile window into the ring. CPU
+// profiling is process-global and exclusive; a concurrent
+// StartCPUProfile (e.g. /debug/pprof/profile) makes this cycle's CPU
+// capture a logged no-op rather than an error worth waking anyone for.
+func (p *Profiler) captureCPU(d time.Duration) {
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		p.errors.Inc()
+		p.log.Debug("cpu profile unavailable", slog.String("error", err.Error()))
+		return
+	}
+	select {
+	case <-p.stop:
+	case <-time.After(d):
+	}
+	pprof.StopCPUProfile()
+	p.captures.Inc()
+	p.ring.Add(Capture{Kind: "cpu", Reason: "interval", Bytes: buf.Bytes()})
+}
+
+// CaptureNamed snapshots one named runtime profile ("heap", "allocs",
+// "mutex", "block", "goroutine", ...) into the ring, tagged with the
+// given reason and optional trace ID, and returns the capture ID (0 on
+// failure or nil receiver).
+func (p *Profiler) CaptureNamed(kind, reason, traceID string) uint64 {
+	if p == nil {
+		return 0
+	}
+	prof := pprof.Lookup(kind)
+	if prof == nil {
+		p.errors.Inc()
+		p.log.Warn("unknown profile kind", slog.String("kind", kind))
+		return 0
+	}
+	var buf bytes.Buffer
+	// debug=0 writes the gzipped protobuf `go tool pprof` wants.
+	if err := prof.WriteTo(&buf, 0); err != nil {
+		p.errors.Inc()
+		p.log.Warn("profile capture failed",
+			slog.String("kind", kind), slog.String("error", err.Error()))
+		return 0
+	}
+	p.captures.Inc()
+	return p.ring.Add(Capture{Kind: kind, Reason: reason, TraceID: traceID, Bytes: buf.Bytes()})
+}
+
+// CaptureSlow is the slow-request hook: it snapshots the goroutine and
+// mutex profiles tagged with the offending request's trace ID, so the
+// /debug/traces entry links to evidence of what the process was doing
+// at breach time. Captures inside the cooldown window are suppressed
+// (returning nil) to bound cost when every request is slow. Safe on a
+// nil receiver — the disabled path is one nil check, no allocation.
+func (p *Profiler) CaptureSlow(traceID string) []uint64 {
+	if p == nil {
+		return nil
+	}
+	now := time.Now().UnixNano()
+	last := p.lastTrigger.Load()
+	if now-last < int64(p.cfg.TriggerCooldown) || !p.lastTrigger.CompareAndSwap(last, now) {
+		p.supressed.Inc()
+		return nil
+	}
+	p.triggers.Inc()
+	ids := make([]uint64, 0, 2)
+	for _, kind := range []string{"goroutine", "mutex"} {
+		if id := p.CaptureNamed(kind, "slow-request", traceID); id != 0 {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}

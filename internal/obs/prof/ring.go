@@ -1,0 +1,152 @@
+package prof
+
+import (
+	"sync"
+	"time"
+)
+
+// A Capture is one retained profile: pprof-gzip bytes plus the metadata
+// needed to find it again (what kind, when, why, and — for
+// slow-request triggers — which trace it explains).
+type Capture struct {
+	// ID is the ring-assigned handle, monotonically increasing; the
+	// download URL is /debug/prof/<id>.
+	ID uint64 `json:"id"`
+	// Kind is the profile name: "cpu", "heap", "allocs", "mutex",
+	// "block" or "goroutine".
+	Kind string `json:"kind"`
+	// Reason is "interval" for background captures and "slow-request"
+	// for trigger captures.
+	Reason string `json:"reason"`
+	// TraceID links a slow-request capture to its /debug/traces entry;
+	// empty for interval captures.
+	TraceID string `json:"trace_id,omitempty"`
+	// UnixNano is the capture completion time.
+	UnixNano int64 `json:"unix_nano"`
+	// Bytes is the gzipped pprof protobuf, as written by
+	// runtime/pprof. Omitted from ring listings; served on download.
+	Bytes []byte `json:"-"`
+	// Size mirrors len(Bytes) for listings.
+	Size int `json:"size"`
+}
+
+// A Ring is the bounded in-memory capture store: oldest-evicted, capped
+// both by entry count and by total profile bytes, so an always-on
+// profiler has a hard memory ceiling however large individual captures
+// get. All methods are safe for concurrent use and on a nil receiver.
+type Ring struct {
+	mu       sync.Mutex
+	maxCount int
+	maxBytes int64
+	total    int64
+	nextID   uint64
+	items    []*Capture // oldest first
+}
+
+// NewRing builds a ring holding at most maxCount captures and maxBytes
+// total profile bytes. Non-positive caps select the defaults (64
+// captures, 32 MiB).
+func NewRing(maxCount int, maxBytes int64) *Ring {
+	if maxCount <= 0 {
+		maxCount = 64
+	}
+	if maxBytes <= 0 {
+		maxBytes = 32 << 20
+	}
+	return &Ring{maxCount: maxCount, maxBytes: maxBytes}
+}
+
+// Add stores a capture, evicting oldest entries until both caps hold,
+// and returns its assigned ID. A capture larger than the byte cap on
+// its own is rejected with ID 0 rather than flushing the whole ring.
+// Safe on a nil receiver (returns 0).
+func (r *Ring) Add(c Capture) uint64 {
+	if r == nil {
+		return 0
+	}
+	c.Size = len(c.Bytes)
+	if c.UnixNano == 0 {
+		c.UnixNano = time.Now().UnixNano()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if int64(c.Size) > r.maxBytes {
+		return 0
+	}
+	for len(r.items) > 0 && (len(r.items) >= r.maxCount || r.total+int64(c.Size) > r.maxBytes) {
+		r.total -= int64(r.items[0].Size)
+		r.items = r.items[1:]
+	}
+	r.nextID++
+	c.ID = r.nextID
+	r.items = append(r.items, &c)
+	r.total += int64(c.Size)
+	return c.ID
+}
+
+// Get returns the capture with the given ID, or nil if it was evicted
+// or never existed. Safe on nil.
+func (r *Ring) Get(id uint64) *Capture {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.items {
+		if c.ID == id {
+			return c
+		}
+	}
+	return nil
+}
+
+// ByTrace returns the retained captures tagged with the given trace ID,
+// oldest first. Safe on nil.
+func (r *Ring) ByTrace(traceID string) []*Capture {
+	if r == nil || traceID == "" {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []*Capture
+	for _, c := range r.items {
+		if c.TraceID == traceID {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Snapshot lists the retained captures oldest first. The *Capture
+// values are shared (their Bytes are immutable after Add). Safe on
+// nil.
+func (r *Ring) Snapshot() []*Capture {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Capture, len(r.items))
+	copy(out, r.items)
+	return out
+}
+
+// Len returns the number of retained captures. Safe on nil.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.items)
+}
+
+// Bytes returns the total retained profile bytes. Safe on nil.
+func (r *Ring) Bytes() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}

@@ -1,0 +1,199 @@
+package prof
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"hostprof/internal/obs"
+)
+
+// sloObjective is the availability objective every endpoint SLO uses:
+// 99% of windowed requests must finish under the endpoint's latency
+// target, leaving a 1% error budget for the burn rate to be measured
+// against.
+const sloObjective = 0.99
+
+// An SLO tracks one endpoint against a latency target over a sliding
+// window: the fraction of requests breaching the target, the burn rate
+// of the 1% error budget, and the windowed latency quantiles. All
+// methods are safe for concurrent use and on a nil receiver (the
+// disabled state).
+type SLO struct {
+	endpoint string
+	target   float64 // seconds
+	win      *Windowed
+}
+
+// Observe records one request latency in seconds. Safe on nil — the
+// per-request cost of a disabled SLO is this nil check.
+func (s *SLO) Observe(seconds float64) {
+	if s == nil {
+		return
+	}
+	s.win.Observe(seconds)
+}
+
+// SLOStatus is one endpoint's point-in-time SLO state, as surfaced on
+// /debug/statusz and the hostprof_slo_* gauges.
+type SLOStatus struct {
+	Endpoint      string  `json:"endpoint"`
+	TargetSeconds float64 `json:"target_seconds"`
+	Objective     float64 `json:"objective"`
+	// WindowRequests is the number of requests inside the sliding
+	// window; the remaining fields are meaningless (and zero/NaN-free:
+	// reported as zero) when it is 0.
+	WindowRequests int64 `json:"window_requests"`
+	// BreachRatio is the fraction of windowed requests over target.
+	BreachRatio float64 `json:"breach_ratio"`
+	// BurnRate is BreachRatio divided by the error budget (1 −
+	// objective): 1.0 means the budget is being consumed exactly as
+	// fast as it accrues; above 1 the SLO is burning down.
+	BurnRate float64 `json:"burn_rate"`
+	P50      float64 `json:"p50_seconds"`
+	P90      float64 `json:"p90_seconds"`
+	P99      float64 `json:"p99_seconds"`
+}
+
+// Status snapshots the SLO. Safe on nil (returns the zero value).
+func (s *SLO) Status() SLOStatus {
+	if s == nil {
+		return SLOStatus{}
+	}
+	st := SLOStatus{
+		Endpoint:      s.endpoint,
+		TargetSeconds: s.target,
+		Objective:     sloObjective,
+	}
+	above, total := s.win.CountAbove(s.target)
+	st.WindowRequests = total
+	if total == 0 {
+		return st
+	}
+	st.BreachRatio = float64(above) / float64(total)
+	st.BurnRate = st.BreachRatio / (1 - sloObjective)
+	counts, n := s.win.Snapshot()
+	st.P50 = finiteOrZero(EstimateQuantile(s.win.Buckets(), counts, n, 0.50))
+	st.P90 = finiteOrZero(EstimateQuantile(s.win.Buckets(), counts, n, 0.90))
+	st.P99 = finiteOrZero(EstimateQuantile(s.win.Buckets(), counts, n, 0.99))
+	return st
+}
+
+func finiteOrZero(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+// An SLOTracker owns the per-endpoint SLOs and exports their state as
+// hostprof_slo_* gauges. Safe for concurrent use and on a nil
+// receiver.
+type SLOTracker struct {
+	reg    *obs.Registry
+	window time.Duration
+	slices int
+
+	mu   sync.Mutex
+	slos map[string]*SLO
+}
+
+// NewSLOTracker builds a tracker whose SLOs measure over the given
+// sliding window (zero selects 5 minutes, sliced at 15s granularity).
+// Gauges land in reg when non-nil.
+func NewSLOTracker(window time.Duration, reg *obs.Registry) *SLOTracker {
+	if window <= 0 {
+		window = 5 * time.Minute
+	}
+	slices := int(window / (15 * time.Second))
+	if slices < 4 {
+		slices = 4
+	}
+	if reg != nil {
+		reg.Describe("hostprof_slo_target_seconds", "per-endpoint SLO latency target")
+		reg.Describe("hostprof_slo_window_requests", "requests inside the SLO sliding window")
+		reg.Describe("hostprof_slo_breach_ratio", "fraction of windowed requests over the SLO target")
+		reg.Describe("hostprof_slo_burn_rate", "error-budget burn rate: breach ratio / (1 - objective); >1 burns the budget down")
+		reg.Describe("hostprof_slo_latency_seconds", "windowed latency quantile estimates per endpoint")
+	}
+	return &SLOTracker{reg: reg, window: window, slices: slices, slos: make(map[string]*SLO)}
+}
+
+// Register creates (or returns) the SLO for endpoint with the given
+// latency target and wires its gauges. Safe on a nil tracker (returns
+// nil, the disabled SLO).
+func (t *SLOTracker) Register(endpoint string, target time.Duration) *SLO {
+	if t == nil || target <= 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s, ok := t.slos[endpoint]; ok {
+		return s
+	}
+	// The target becomes a bucket bound, so the breach count is exact
+	// rather than bucket-rounded.
+	bounds := append([]float64{}, defaultSLOBuckets...)
+	bounds = append(bounds, target.Seconds())
+	s := &SLO{
+		endpoint: endpoint,
+		target:   target.Seconds(),
+		win:      NewWindowed(t.window, t.slices, bounds),
+	}
+	t.slos[endpoint] = s
+	if reg := t.reg; reg != nil {
+		le := obs.L("endpoint", endpoint)
+		reg.GaugeFunc("hostprof_slo_target_seconds", func() float64 { return s.target }, le)
+		reg.GaugeFunc("hostprof_slo_window_requests", func() float64 { return float64(s.win.Count()) }, le)
+		reg.GaugeFunc("hostprof_slo_breach_ratio", func() float64 { return s.Status().BreachRatio }, le)
+		reg.GaugeFunc("hostprof_slo_burn_rate", func() float64 { return s.Status().BurnRate }, le)
+		for _, q := range []struct {
+			name string
+			q    float64
+		}{{"0.5", 0.50}, {"0.9", 0.90}, {"0.99", 0.99}} {
+			q := q
+			reg.GaugeFunc("hostprof_slo_latency_seconds",
+				func() float64 { return finiteOrZero(s.win.Quantile(q.q)) },
+				le, obs.L("quantile", q.name))
+		}
+	}
+	return s
+}
+
+// Get returns the registered SLO for endpoint, or nil. Safe on nil.
+func (t *SLOTracker) Get(endpoint string) *SLO {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.slos[endpoint]
+}
+
+// Status snapshots every registered SLO, sorted by endpoint. Safe on
+// nil (returns nil).
+func (t *SLOTracker) Status() []SLOStatus {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	slos := make([]*SLO, 0, len(t.slos))
+	for _, s := range t.slos {
+		slos = append(slos, s)
+	}
+	t.mu.Unlock()
+	sort.Slice(slos, func(i, j int) bool { return slos[i].endpoint < slos[j].endpoint })
+	out := make([]SLOStatus, len(slos))
+	for i, s := range slos {
+		out[i] = s.Status()
+	}
+	return out
+}
+
+// defaultSLOBuckets are the latency bounds SLO windows use, a denser
+// low end than obs.DefBuckets because SLO targets live in the
+// milliseconds.
+var defaultSLOBuckets = []float64{
+	.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10,
+}

@@ -28,6 +28,7 @@ import (
 	"hostprof/internal/fault"
 	"hostprof/internal/flight"
 	"hostprof/internal/obs"
+	"hostprof/internal/obs/prof"
 	"hostprof/internal/obs/tracer"
 	"hostprof/internal/ontology"
 	"hostprof/internal/store"
@@ -102,6 +103,22 @@ type Config struct {
 	// structured warning with its trace ID and stage breakdown.
 	// Default 1s; negative disables the slow-request log.
 	SlowRequest time.Duration
+	// Profiler, when non-nil, is the continuous-profiling layer: slow
+	// requests trigger goroutine+mutex captures tagged with their
+	// trace ID, and the capture ring is served at /debug/prof/ on the
+	// backend handler. The backend does not own the profiler's
+	// lifecycle — the caller that built it stops it. Nil costs a nil
+	// check on the slow path only.
+	Profiler *prof.Profiler
+	// SLOTargets maps endpoint names ("report", "profile_batch",
+	// "retrain", ...) to latency targets. Each named endpoint gets a
+	// sliding-window SLO (99% of requests under target) whose burn
+	// rate, breach ratio and latency quantiles are exported as
+	// hostprof_slo_* gauges and surfaced on /debug/statusz. Empty
+	// disables SLO tracking — zero cost on the request path.
+	SLOTargets map[string]time.Duration
+	// SLOWindow is the SLO sliding window (default 5 minutes).
+	SLOWindow time.Duration
 	// Logger receives the backend's structured logs (retrain outcomes,
 	// slow requests). Nil selects slog.Default().
 	Logger *slog.Logger
@@ -115,6 +132,13 @@ type Backend struct {
 	met backendMetrics
 	tr  *tracer.Tracer
 	log *slog.Logger
+
+	// Profiling/SLO pillar: trigger captures, per-endpoint SLOs, the
+	// recent-slow-request log and the /debug/statusz page.
+	profz   *prof.Profiler
+	slos    *prof.SLOTracker
+	slowlog *prof.SlowLog
+	statusz *prof.Statusz
 
 	store *store.Store
 
@@ -269,7 +293,55 @@ func New(cfg Config) (*Backend, error) {
 		}
 		return 0
 	})
+	b.profz = cfg.Profiler
+	b.slowlog = prof.NewSlowLog(32)
+	if len(cfg.SLOTargets) > 0 {
+		b.slos = prof.NewSLOTracker(cfg.SLOWindow, reg)
+		for endpoint, target := range cfg.SLOTargets {
+			b.slos.Register(endpoint, target)
+		}
+	}
+	b.statusz = b.buildStatusz()
 	return b, nil
+}
+
+// buildStatusz assembles the /debug/statusz page: the operational state
+// an on-call needs in one place, each section computed at render time.
+func (b *Backend) buildStatusz() *prof.Statusz {
+	sz := prof.NewStatusz()
+	sz.Section("slo", func() any { return b.slos.Status() })
+	sz.Section("store", func() any {
+		rec := b.store.Recovery()
+		return map[string]any{
+			"degraded": b.store.Degraded(),
+			"visits":   b.store.Len(),
+			"users":    len(b.store.Users()),
+			"recovery": rec,
+		}
+	})
+	sz.Section("retrain", func() any {
+		st := map[string]any{
+			"trained": b.Ready(),
+			"running": b.retrains.Running(),
+		}
+		b.mu.Lock()
+		if b.profiler != nil {
+			st["vocab"] = b.profiler.Model().Vocab().Len()
+		}
+		b.mu.Unlock()
+		return st
+	})
+	sz.Section("slow_requests", func() any { return b.slowlog.Snapshot() })
+	sz.Section("profile_ring", func() any {
+		return map[string]any{
+			"captures":    b.profz.Ring().Len(),
+			"bytes":       b.profz.Ring().Bytes(),
+			"recent":      b.profz.Ring().Snapshot(),
+			"enabled":     b.profz.Enabled(),
+			"download_at": "/debug/prof/",
+		}
+	})
+	return sz
 }
 
 // Store returns the backend's visit store, for durability operations and
@@ -669,6 +741,8 @@ type FeedbackRequest struct {
 //	GET  /metrics       → Prometheus text exposition
 //	GET  /varz          → JSON metrics snapshot
 //	GET  /healthz       → readiness (200 once the model is trained)
+//	GET  /debug/statusz → single-page operational view (HTML, ?format=json)
+//	GET  /debug/prof/   → profile-capture ring (with Config.Profiler)
 //
 // Error responses from /v1 endpoints carry a JSON body {"error": "..."}.
 // Every /v1 endpoint is instrumented with a request counter
@@ -690,6 +764,10 @@ func (b *Backend) Handler() http.Handler {
 	if b.tr.Enabled() {
 		mux.Handle("/debug/traces", b.tr.Handler())
 	}
+	if b.profz.Enabled() {
+		mux.Handle("GET /debug/prof/", b.profz.Handler())
+	}
+	mux.Handle("GET /debug/statusz", b.statusz.Handler())
 	return mux
 }
 
@@ -727,6 +805,10 @@ func (w *statusRecorder) Write(p []byte) (int, error) {
 // that collapses to nil checks — no allocation on the request path.
 func (b *Backend) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	lat := b.reg.Histogram("hostprof_http_request_seconds", nil, obs.L("endpoint", endpoint))
+	// The SLO handle is resolved once per endpoint at wrap time; per
+	// request it is one nil-safe Observe. Endpoints without a
+	// configured target get a nil handle — zero cost.
+	slo := b.slos.Get(endpoint)
 	return func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		start := time.Now()
@@ -752,21 +834,65 @@ func (b *Backend) instrument(endpoint string, h http.HandlerFunc) http.HandlerFu
 			} else if rec.code >= 500 {
 				span.Error(fmt.Errorf("HTTP %d", rec.code))
 			}
+			slow := b.cfg.SlowRequest > 0 && d >= b.cfg.SlowRequest
+			var capIDs []uint64
+			if slow {
+				// Snapshot goroutine+mutex profiles tagged with this
+				// trace before the span closes, so the /debug/traces
+				// entry carries a link to the evidence. The profiler
+				// rate-limits trigger captures internally.
+				capIDs = b.profz.CaptureSlow(span.TraceIDString())
+				if len(capIDs) > 0 {
+					span.SetAttr("profiles", profileRingURL(span.TraceIDString(), capIDs))
+				}
+			}
 			lat.ObserveExemplar(d.Seconds(), span.TraceIDString())
 			span.SetAttr("code", strconv.Itoa(rec.code))
 			span.End()
+			slo.Observe(d.Seconds())
 			b.reg.Counter("hostprof_http_requests_total",
 				obs.L("endpoint", endpoint),
 				obs.L("code", strconv.Itoa(rec.code))).Inc()
-			if b.cfg.SlowRequest > 0 && d >= b.cfg.SlowRequest {
+			if slow {
+				b.slowlog.Add(prof.SlowEntry{
+					Endpoint:   endpoint,
+					Code:       rec.code,
+					Seconds:    d.Seconds(),
+					TraceID:    span.TraceIDString(),
+					CaptureIDs: capIDs,
+				})
 				b.log.LogAttrs(r.Context(), slog.LevelWarn, "slow request",
 					slog.String("endpoint", endpoint),
 					slog.Int("code", rec.code),
 					slog.Duration("elapsed", d),
-					slog.String("stages", formatStages(span.Stages())))
+					slog.String("stages", formatStages(span.Stages())),
+					slog.String("profiles", profileRingURL(span.TraceIDString(), capIDs)))
 			}
 		}()
 		h(rec, r)
+	}
+}
+
+// profileRingURL renders the /debug/prof/ link for a slow request's
+// trigger captures: the trace-filtered index when the request was
+// traced, the capture IDs otherwise, "-" when the trigger was in
+// cooldown and nothing was captured.
+func profileRingURL(traceID string, capIDs []uint64) string {
+	switch {
+	case len(capIDs) == 0:
+		return "-"
+	case traceID != "":
+		return "/debug/prof/?trace=" + traceID
+	default:
+		var sb strings.Builder
+		for i, id := range capIDs {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString("/debug/prof/")
+			sb.WriteString(strconv.FormatUint(id, 10))
+		}
+		return sb.String()
 	}
 }
 
