@@ -43,6 +43,14 @@ func cmdBenchDiff(args []string) error {
 		Floor:     *floor,
 	})
 	rep.Write(os.Stdout)
+	// Different GOMAXPROCS means the runs keyed apart and nothing was
+	// compared — a passing gate over zero comparisons is the silent
+	// failure mode of capturing base and head on different machines.
+	// Warn loudly, but do not fail: a deliberate hardware change must
+	// still be able to re-baseline.
+	if n := len(rep.ProcsMismatches); n > 0 {
+		fmt.Fprintf(os.Stderr, "warning: %d benchmark(s) captured at different GOMAXPROCS in base vs head; their values were not compared\n", n)
+	}
 	if rep.Regressions > 0 {
 		return fmt.Errorf("%d benchmark(s) regressed beyond %+.0f%% on %s",
 			rep.Regressions, *tolerance*100, *metric)

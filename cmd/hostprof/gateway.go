@@ -1,0 +1,121 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"hostprof/internal/cluster"
+	"hostprof/internal/obs"
+	"hostprof/internal/obs/tracer"
+)
+
+// cmdGateway runs the stateless cluster router in front of N `hostprof
+// serve` shards: consistent-hash routing for per-user traffic,
+// scatter-gather for batch profiling, and versioned model distribution
+// after retrains.
+func cmdGateway(args []string) error {
+	fs := flag.NewFlagSet("gateway", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8410", "listen address")
+	backends := fs.String("backends", "", "comma-separated shard base URLs, e.g. http://127.0.0.1:8421,http://127.0.0.1:8422 (required)")
+	vnodes := fs.Int("vnodes", cluster.DefaultVirtualNodes, "virtual nodes per shard on the hash ring")
+	shardTimeout := fs.Duration("shard-timeout", 5*time.Second, "per-shard request deadline (reports, batch chunks, probes)")
+	retrainTimeout := fs.Duration("retrain-timeout", 10*time.Minute, "deadline for a retrain plus model distribution")
+	healthEvery := fs.Duration("health-interval", 2*time.Second, "shard /readyz probe cadence (0 disables the loop)")
+	shardRetries := fs.Int("shard-retries", 2, "re-sends per shard request the shard shed with 429/Retry-After")
+	maxBatch := fs.Int("max-batch", 2048, "sessions accepted per /v1/profile/batch")
+	chunk := fs.Int("shard-batch", 256, "sessions per shard chunk in scatter-gather")
+	noSync := fs.Bool("no-model-sync", false, "disable health-loop model anti-entropy (re-shipping the model to shards that diverge)")
+	httpTimeout := fs.Duration("http-timeout", time.Minute, "HTTP read/write timeout (idle timeout is 4x this)")
+	traceSample := fs.Float64("trace-sample", 1, "request-trace head-sampling rate in [0,1]; 0 disables tracing")
+	traceBuffer := fs.Int("trace-buffer", 256, "completed traces retained for /debug/traces")
+	logf := addLogFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := logf.setup(); err != nil {
+		return err
+	}
+	if *backends == "" {
+		return fmt.Errorf("-backends is required")
+	}
+	var list []string
+	for _, b := range strings.Split(*backends, ",") {
+		b = strings.TrimSuffix(strings.TrimSpace(b), "/")
+		if b == "" {
+			continue
+		}
+		if !strings.Contains(b, "://") {
+			b = "http://" + b
+		}
+		list = append(list, b)
+	}
+
+	trc := tracer.New(tracer.Config{
+		Service:      "hostprof-gateway",
+		SampleRate:   *traceSample,
+		BufferTraces: *traceBuffer,
+		Metrics:      obs.Default,
+	})
+	gw, err := cluster.New(cluster.Config{
+		Backends:            list,
+		VirtualNodes:        *vnodes,
+		ShardTimeout:        *shardTimeout,
+		RetrainTimeout:      *retrainTimeout,
+		HealthInterval:      *healthEvery,
+		ShardRetries:        *shardRetries,
+		MaxSessionsPerBatch: *maxBatch,
+		ShardBatchLimit:     *chunk,
+		NoAutoSync:          *noSync,
+		Metrics:             obs.Default,
+		Tracer:              trc,
+		Logger:              slog.Default(),
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	gw.Start(ctx)
+	defer gw.Close()
+
+	st := gw.ClusterStatus()
+	slog.Info("gateway listening",
+		slog.String("addr", "http://"+*addr),
+		slog.Int("backends", st.Backends),
+		slog.Int("alive", st.AliveShards),
+		slog.Int("ready", st.ReadyShards))
+	slog.Info("endpoints: POST /v1/report /v1/profile/batch /v1/feedback /v1/retrain; GET /v1/stats /v1/cluster /metrics /varz /healthz /readyz /debug/traces")
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           gw.Handler(),
+		ReadTimeout:       *httpTimeout,
+		ReadHeaderTimeout: *httpTimeout,
+		WriteTimeout:      *httpTimeout,
+		IdleTimeout:       4 * *httpTimeout,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+		slog.Info("gateway shutting down: draining requests")
+		shCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		return nil
+	}
+}

@@ -8,6 +8,7 @@
 //	hostprof similar    query nearest hostnames in embedding space
 //	hostprof export     dump embeddings in word2vec text format
 //	hostprof serve      run the profiling/ad back-end over HTTP
+//	hostprof gateway    run the cluster router in front of N serve shards
 //	hostprof report     post one traced session report to a running backend
 //	hostprof bench-diff compare two bench-json files, failing on perf regressions
 //
@@ -46,6 +47,8 @@ func main() {
 		err = cmdExport(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "gateway":
+		err = cmdGateway(os.Args[2:])
 	case "report":
 		err = cmdReport(os.Args[2:])
 	case "bench-diff":
@@ -74,6 +77,7 @@ commands:
   similar   list nearest hostnames in embedding space
   export    dump a model in word2vec text format
   serve     run the profiling/ad back-end over HTTP
+  gateway   run the cluster router (consistent-hash + scatter-gather) over serve shards
   report    post one traced session report to a running backend
   bench-diff  compare two bench-json result files; non-zero exit on regression`)
 }

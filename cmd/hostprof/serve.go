@@ -180,7 +180,7 @@ func cmdServe(args []string) error {
 		slog.Int("labelled_hosts", ont.Len()),
 		slog.Int("ads", db.Len()),
 		slog.Float64("trace_sample", *traceSample))
-	slog.Info("endpoints: POST /v1/report /v1/profile/batch /v1/feedback /v1/retrain[?async=1]; GET /v1/stats /metrics /varz /healthz /debug/traces /debug/statusz /debug/prof/")
+	slog.Info("endpoints: POST /v1/report /v1/profile/batch /v1/feedback /v1/retrain[?async=1]; GET/PUT /v1/model; GET /v1/stats /metrics /varz /healthz /readyz /debug/traces /debug/statusz /debug/prof/")
 	if *withPprof {
 		slog.Info("profiling: GET /debug/pprof/ (incl. heap/allocs/mutex/block/goroutine)")
 	}

@@ -127,3 +127,48 @@ func TestDiffCustomMetricAndTolerance(t *testing.T) {
 		t.Fatalf("absent metric compared: %+v", rep)
 	}
 }
+
+// TestDiffProcsMismatch: base and head captured at different GOMAXPROCS
+// key apart and compare nothing — the report must say so instead of
+// letting a zero-comparison gate pass silently.
+func TestDiffProcsMismatch(t *testing.T) {
+	at := func(name string, procs int, nsop float64) Result {
+		return Result{Name: name, Procs: procs, Iterations: 1,
+			Metrics: map[string]float64{"ns/op": nsop}}
+	}
+	base := []Result{
+		at("Query", 8, 100_000),
+		at("Train", 8, 900_000),
+		at("Stable", 4, 50_000),
+	}
+	head := []Result{
+		at("Query", 4, 900_000), // 9x slower, but at different procs: not compared
+		at("Train", 8, 900_000),
+		at("Stable", 4, 50_000),
+	}
+	rep := Diff(base, head, DiffConfig{})
+	if rep.Regressions != 0 {
+		t.Fatalf("regressions = %d; cross-procs values must not be compared", rep.Regressions)
+	}
+	if len(rep.ProcsMismatches) != 1 {
+		t.Fatalf("ProcsMismatches = %+v, want exactly Query", rep.ProcsMismatches)
+	}
+	m := rep.ProcsMismatches[0]
+	if m.Name != "Query" || len(m.BaseProcs) != 1 || m.BaseProcs[0] != 8 ||
+		len(m.HeadProcs) != 1 || m.HeadProcs[0] != 4 {
+		t.Fatalf("mismatch = %+v", m)
+	}
+
+	var sb strings.Builder
+	rep.Write(&sb)
+	if !strings.Contains(sb.String(), "WARNING: Query ran at GOMAXPROCS [8] in base but [4] in head") {
+		t.Fatalf("table missing procs warning:\n%s", sb.String())
+	}
+
+	// A benchmark gone entirely (not re-run anywhere) is OnlyBase, not a
+	// procs mismatch; identical procs never warn.
+	rep2 := Diff([]Result{at("Gone", 8, 1)}, []Result{at("Stable", 4, 1)}, DiffConfig{})
+	if len(rep2.ProcsMismatches) != 0 {
+		t.Fatalf("disjoint names flagged as procs mismatch: %+v", rep2.ProcsMismatches)
+	}
+}

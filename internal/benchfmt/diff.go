@@ -41,6 +41,20 @@ type DiffReport struct {
 	OnlyBase    []string // benchmarks that disappeared
 	OnlyHead    []string // benchmarks that are new
 	Regressions int
+	// ProcsMismatches flags benchmarks whose base and head runs were
+	// captured at different GOMAXPROCS. Keys embed the procs suffix, so
+	// such pairs silently land in OnlyBase/OnlyHead and the gate would
+	// pass without comparing anything — exactly the machine-changed
+	// scenario an operator must see called out.
+	ProcsMismatches []ProcsMismatch
+}
+
+// ProcsMismatch is one benchmark name present on both sides but
+// captured at differing GOMAXPROCS, so no value comparison happened.
+type ProcsMismatch struct {
+	Name      string `json:"name"`
+	BaseProcs []int  `json:"base_procs"`
+	HeadProcs []int  `json:"head_procs"`
 }
 
 // Diff compares head against base benchmark results. Benchmarks
@@ -95,7 +109,62 @@ func Diff(base, head []Result, cfg DiffConfig) DiffReport {
 	sort.Slice(rep.Deltas, func(i, j int) bool { return rep.Deltas[i].Key < rep.Deltas[j].Key })
 	sort.Strings(rep.OnlyBase)
 	sort.Strings(rep.OnlyHead)
+	rep.ProcsMismatches = procsMismatches(base, head)
 	return rep
+}
+
+// procsMismatches finds benchmark names that ran on both sides but at
+// different GOMAXPROCS sets.
+func procsMismatches(base, head []Result) []ProcsMismatch {
+	byName := func(rs []Result) map[string]map[int]bool {
+		m := make(map[string]map[int]bool)
+		for _, r := range rs {
+			if m[r.Name] == nil {
+				m[r.Name] = make(map[int]bool)
+			}
+			m[r.Name][r.Procs] = true
+		}
+		return m
+	}
+	bn, hn := byName(base), byName(head)
+	var out []ProcsMismatch
+	for name, bp := range bn {
+		hp, ok := hn[name]
+		if !ok {
+			continue
+		}
+		if procsEqual(bp, hp) {
+			continue
+		}
+		out = append(out, ProcsMismatch{
+			Name:      name,
+			BaseProcs: sortedProcs(bp),
+			HeadProcs: sortedProcs(hp),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func procsEqual(a, b map[int]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for p := range a {
+		if !b[p] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedProcs(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // Write renders the report as an aligned table, flagging regressions.
@@ -122,5 +191,9 @@ func (rep DiffReport) Write(w io.Writer) {
 	}
 	for _, key := range rep.OnlyHead {
 		fmt.Fprintf(w, "%-*s  only in head\n", width, key)
+	}
+	for _, m := range rep.ProcsMismatches {
+		fmt.Fprintf(w, "WARNING: %s ran at GOMAXPROCS %v in base but %v in head — values were NOT compared; re-capture both runs on the same machine\n",
+			m.Name, m.BaseProcs, m.HeadProcs)
 	}
 }

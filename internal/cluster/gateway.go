@@ -1,0 +1,389 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"hostprof/internal/obs"
+	"hostprof/internal/obs/tracer"
+)
+
+// Config assembles a Gateway.
+type Config struct {
+	// Backends lists the shard base URLs (e.g. "http://127.0.0.1:8421").
+	// Order matters for one thing only: the designated training node is
+	// the first healthy backend in this order. Placement comes from the
+	// ring, which is order-independent.
+	Backends []string
+	// VirtualNodes per backend on the ring (default
+	// DefaultVirtualNodes).
+	VirtualNodes int
+	// ShardTimeout bounds every proxied shard request (report,
+	// feedback, one batch chunk, health probe). Default 5s. A shard
+	// past its deadline degrades that request only — scatter-gather
+	// returns the other shards' results.
+	ShardTimeout time.Duration
+	// RetrainTimeout bounds the synchronous retrain forward plus model
+	// distribution. Default 10m.
+	RetrainTimeout time.Duration
+	// HealthInterval is the readiness-poll cadence. <= 0 disables the
+	// background loop; CheckHealth can still be driven manually.
+	HealthInterval time.Duration
+	// ShardRetries re-sends a shard request the shard shed (429, or 503
+	// with Retry-After) before giving up, reusing the extension
+	// client's backoff schedule (server.RetryDelay). Default 2;
+	// negative disables.
+	ShardRetries int
+	// RetryBase/RetryMax bound the backoff (defaults 50ms / 1s).
+	RetryBase, RetryMax time.Duration
+	// MaxSessionsPerBatch caps a gateway batch (default 2048). The
+	// gateway re-chunks below every shard's own limit, so its cap can
+	// exceed a single backend's.
+	MaxSessionsPerBatch int
+	// ShardBatchLimit is the largest chunk sent to one shard in one
+	// request (default 256, the backend's MaxSessionsPerBatch default).
+	ShardBatchLimit int
+	// NoAutoSync disables the health loop's model anti-entropy: by
+	// default, when a polled shard serves a different model version
+	// than the designated node (a restarted shard that recovered an
+	// old generation, a node that missed a distribution), the gateway
+	// re-ships the artifact.
+	NoAutoSync bool
+	// Metrics, when non-nil, is the registry the gateway exports into
+	// (hostprof_gateway_* names). Nil creates a private registry.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, traces every gateway request; proxied shard
+	// calls carry the gateway span's traceparent, so one trace covers
+	// client → gateway → shard.
+	Tracer *tracer.Tracer
+	// Logger receives structured logs. Nil selects slog.Default().
+	Logger *slog.Logger
+	// HTTPClient overrides the shard transport (tests). Nil builds one
+	// with sane pooling.
+	HTTPClient *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.VirtualNodes <= 0 {
+		c.VirtualNodes = DefaultVirtualNodes
+	}
+	if c.ShardTimeout <= 0 {
+		c.ShardTimeout = 5 * time.Second
+	}
+	if c.RetrainTimeout <= 0 {
+		c.RetrainTimeout = 10 * time.Minute
+	}
+	if c.ShardRetries == 0 {
+		c.ShardRetries = 2
+	}
+	if c.ShardRetries < 0 {
+		c.ShardRetries = 0
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 50 * time.Millisecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = time.Second
+	}
+	if c.MaxSessionsPerBatch <= 0 {
+		c.MaxSessionsPerBatch = 2048
+	}
+	if c.ShardBatchLimit <= 0 {
+		c.ShardBatchLimit = 256
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// Gateway is the cluster's stateless router. All methods are safe for
+// concurrent use.
+type Gateway struct {
+	cfg    Config
+	reg    *obs.Registry
+	met    gatewayMetrics
+	tr     *tracer.Tracer
+	log    *slog.Logger
+	client *http.Client
+
+	ringMu sync.Mutex
+	ring   *Ring
+
+	mu     sync.Mutex
+	shards map[string]*shardState
+	// modelVersion/modelData cache the last artifact the gateway pulled,
+	// so distribution and anti-entropy re-GET a shard's model only when
+	// the version actually changed (If-None-Match → 304).
+	modelVersion string
+	modelData    []byte
+
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	startOnce sync.Once
+	closeOnce sync.Once
+}
+
+// gatewayMetrics caches the gateway's registry handles.
+type gatewayMetrics struct {
+	shed         *obs.Counter
+	retries      *obs.Counter
+	rebalances   *obs.Counter
+	batchPartial *obs.Counter
+	modelPushes  *obs.Counter
+	pushErrors   *obs.Counter
+}
+
+func newGatewayMetrics(reg *obs.Registry) gatewayMetrics {
+	reg.Describe("hostprof_gateway_requests_total", "gateway requests, by endpoint and status code")
+	reg.Describe("hostprof_gateway_request_seconds", "gateway request latency, by endpoint")
+	reg.Describe("hostprof_gateway_shard_requests_total", "proxied shard requests, by backend and status code")
+	reg.Describe("hostprof_gateway_shard_request_seconds", "proxied shard request latency, by backend")
+	reg.Describe("hostprof_gateway_shard_errors_total", "shard transport failures, by backend")
+	reg.Describe("hostprof_gateway_shard_up", "1 when the shard answered its last health probe, by backend")
+	reg.Describe("hostprof_gateway_shard_ready", "1 when the shard reported ready, by backend")
+	reg.Describe("hostprof_gateway_model_version", "numeric prefix of the shard's model version (0 = untrained), by backend")
+	reg.Describe("hostprof_gateway_shed_total", "requests refused because the owning shard is down (its keyspace is shed)")
+	reg.Describe("hostprof_gateway_retries_total", "shard requests re-sent after a shed answer")
+	reg.Describe("hostprof_gateway_ring_rebalance_total", "ring rebuilds from membership changes")
+	reg.Describe("hostprof_gateway_batch_partial_total", "scatter-gather batches answered with partial results")
+	reg.Describe("hostprof_gateway_model_pushes_total", "model artifacts pushed to shards")
+	return gatewayMetrics{
+		shed:         reg.Counter("hostprof_gateway_shed_total"),
+		retries:      reg.Counter("hostprof_gateway_retries_total"),
+		rebalances:   reg.Counter("hostprof_gateway_ring_rebalance_total"),
+		batchPartial: reg.Counter("hostprof_gateway_batch_partial_total"),
+		modelPushes:  reg.Counter("hostprof_gateway_model_pushes_total", obs.L("outcome", "ok")),
+		pushErrors:   reg.Counter("hostprof_gateway_model_pushes_total", obs.L("outcome", "error")),
+	}
+}
+
+// New validates cfg and builds a gateway. The ring is built immediately
+// (placement needs no I/O); every shard starts unknown-dead until the
+// first health probe, so call Start (or CheckHealth) before serving.
+func New(cfg Config) (*Gateway, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("cluster: gateway needs at least one backend")
+	}
+	ring, err := NewRing(cfg.Backends, cfg.VirtualNodes)
+	if err != nil {
+		return nil, err
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	client := cfg.HTTPClient
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 64,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	g := &Gateway{
+		cfg:    cfg,
+		reg:    reg,
+		met:    newGatewayMetrics(reg),
+		tr:     cfg.Tracer,
+		log:    cfg.Logger,
+		client: client,
+		ring:   ring,
+		shards: make(map[string]*shardState, len(cfg.Backends)),
+		stop:   make(chan struct{}),
+	}
+	for _, b := range cfg.Backends {
+		g.shards[b] = &shardState{name: b}
+		g.wireShardGauges(b)
+	}
+	return g, nil
+}
+
+// Metrics returns the registry the gateway exports into.
+func (g *Gateway) Metrics() *obs.Registry { return g.reg }
+
+// Ring returns the current placement ring.
+func (g *Gateway) Ring() *Ring {
+	g.ringMu.Lock()
+	defer g.ringMu.Unlock()
+	return g.ring
+}
+
+// SetBackends rebuilds the ring over a new member set (an operator
+// resize). Users whose owner changes land on their new shard with an
+// empty history — the visit store does not migrate; that is a future
+// axis. Counted in hostprof_gateway_ring_rebalance_total.
+func (g *Gateway) SetBackends(backends []string) error {
+	ring, err := NewRing(backends, g.cfg.VirtualNodes)
+	if err != nil {
+		return err
+	}
+	g.ringMu.Lock()
+	changed := !g.ring.Equal(backends)
+	g.ring = ring
+	g.ringMu.Unlock()
+	if !changed {
+		return nil
+	}
+	g.met.rebalances.Inc()
+	g.mu.Lock()
+	for _, b := range backends {
+		if g.shards[b] == nil {
+			g.shards[b] = &shardState{name: b}
+			g.wireShardGauges(b)
+		}
+	}
+	keep := make(map[string]bool, len(backends))
+	for _, b := range backends {
+		keep[b] = true
+	}
+	for name := range g.shards {
+		if !keep[name] {
+			delete(g.shards, name)
+		}
+	}
+	g.mu.Unlock()
+	g.log.Info("gateway ring rebalanced", slog.Int("backends", len(backends)))
+	return nil
+}
+
+// Start launches the health loop (when HealthInterval > 0) after one
+// synchronous probe pass, so the first proxied request already knows
+// which shards are up.
+func (g *Gateway) Start(ctx context.Context) {
+	g.startOnce.Do(func() {
+		g.CheckHealth(ctx)
+		if g.cfg.HealthInterval > 0 {
+			g.wg.Add(1)
+			go g.healthLoop()
+		}
+	})
+}
+
+// Close stops the health loop.
+func (g *Gateway) Close() {
+	g.closeOnce.Do(func() {
+		close(g.stop)
+		g.wg.Wait()
+	})
+}
+
+func (g *Gateway) healthLoop() {
+	defer g.wg.Done()
+	t := time.NewTicker(g.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			ctx, cancel := context.WithTimeout(context.Background(), g.cfg.ShardTimeout)
+			g.CheckHealth(ctx)
+			if !g.cfg.NoAutoSync {
+				g.SyncModels(ctx)
+			}
+			cancel()
+		case <-g.stop:
+			return
+		}
+	}
+}
+
+// Handler returns the gateway's HTTP API — wire-compatible with a
+// single backend for everything a client uses, so pointing an
+// Extension at a gateway instead of a backend changes nothing:
+//
+//	POST /v1/report         → forwarded to the user's owning shard
+//	POST /v1/feedback       → forwarded to the user's owning shard
+//	POST /v1/profile/batch  → scatter-gather across ready shards
+//	POST /v1/retrain        → designated shard trains, model distributed
+//	GET  /v1/stats          → aggregated across live shards
+//	GET  /v1/cluster        → ring, shard health, model versions
+//	GET  /metrics, /varz    → gateway metrics
+//	GET  /healthz           → gateway liveness
+//	GET  /readyz            → 200 when ≥1 shard is alive
+//	GET  /debug/traces      → gateway half of distributed traces
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/report", g.instrument("report", g.handleReport))
+	mux.HandleFunc("POST /v1/feedback", g.instrument("feedback", g.handleFeedback))
+	mux.HandleFunc("POST /v1/profile/batch", g.instrument("profile_batch", g.handleProfileBatch))
+	mux.HandleFunc("POST /v1/retrain", g.instrument("retrain", g.handleRetrain))
+	mux.HandleFunc("GET /v1/stats", g.instrument("stats", g.handleStats))
+	mux.HandleFunc("GET /v1/cluster", g.instrument("cluster", g.handleCluster))
+	mux.Handle("GET /metrics", g.reg.MetricsHandler())
+	mux.Handle("GET /varz", g.reg.VarzHandler())
+	mux.Handle("GET /healthz", obs.HealthzHandler(nil))
+	mux.Handle("GET /readyz", obs.ReadyzHandler(func() (bool, any) {
+		st := g.ClusterStatus()
+		return st.AliveShards > 0, st
+	}))
+	if g.tr.Enabled() {
+		mux.Handle("/debug/traces", g.tr.Handler())
+	}
+	return mux
+}
+
+// instrument wraps a gateway endpoint with tracing, latency and
+// request-count metrics, mirroring the backend's contract: the handler
+// span joins an incoming W3C traceparent, so a traced client, this
+// gateway and the shards it fans out to share one trace ID.
+func (g *Gateway) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	lat := g.reg.Histogram("hostprof_gateway_request_seconds", nil, obs.L("endpoint", endpoint))
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		var span *tracer.Span
+		if g.tr.Enabled() {
+			ctx := r.Context()
+			if sc, ok := tracer.ParseTraceparent(r.Header.Get("traceparent")); ok {
+				ctx = tracer.ContextWithRemote(ctx, sc)
+			}
+			ctx, span = g.tr.StartSpan(ctx, "gw."+endpoint)
+			span.SetAttr("endpoint", endpoint)
+			r = r.WithContext(ctx)
+		}
+		defer func() {
+			d := time.Since(start)
+			if rec.code >= 500 {
+				span.Error(fmt.Errorf("HTTP %d", rec.code))
+			}
+			span.SetAttr("code", strconv.Itoa(rec.code))
+			span.End()
+			lat.ObserveExemplar(d.Seconds(), span.TraceIDString())
+			g.reg.Counter("hostprof_gateway_requests_total",
+				obs.L("endpoint", endpoint),
+				obs.L("code", strconv.Itoa(rec.code))).Inc()
+		}()
+		h(rec, r)
+	}
+}
+
+// statusRecorder captures the response code a handler wrote.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// writeJSON sends a JSON response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeError sends the backend's JSON error envelope, so clients parse
+// gateway and shard errors identically.
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,0 +1,505 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"hostprof/internal/ads"
+	"hostprof/internal/core"
+	"hostprof/internal/obs/tracer"
+	"hostprof/internal/server"
+	"hostprof/internal/synth"
+)
+
+// pathCounter counts requests per URL path, so tests can prove which
+// shards actually served traffic.
+type pathCounter struct {
+	mu   sync.Mutex
+	hits map[string]int
+	next http.Handler
+}
+
+func (p *pathCounter) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	p.mu.Lock()
+	p.hits[r.URL.Path]++
+	p.mu.Unlock()
+	p.next.ServeHTTP(w, r)
+}
+
+func (p *pathCounter) count(path string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits[path]
+}
+
+// clusterFixture is an in-process 3-node cluster: N real backends over
+// one shared synthetic world, behind one gateway, all under httptest.
+type clusterFixture struct {
+	gw       *Gateway
+	gwSrv    *httptest.Server
+	backends []*server.Backend
+	shardSrv []*httptest.Server
+	shardTrc []*tracer.Tracer
+	counters []*pathCounter
+	u        *synth.Universe
+	pop      *synth.Population
+}
+
+func newClusterFixture(t *testing.T, shards, users int) *clusterFixture {
+	t.Helper()
+	u := synth.NewUniverse(synth.UniverseConfig{Sites: 100, Trackers: 15, Seed: 3})
+	ont := synth.BuildOntology(u, synth.OntologyConfig{Coverage: 0.2, Seed: 5})
+	db := ads.BuildFromOntology(ont, ads.BuildConfig{Seed: 7})
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+
+	fx := &clusterFixture{u: u}
+	var urls []string
+	for i := 0; i < shards; i++ {
+		trc := tracer.New(tracer.Config{Service: "shard", SampleRate: 1})
+		b, err := server.New(server.Config{
+			Ontology: ont,
+			AdDB:     db,
+			Train:    core.TrainConfig{Dim: 16, Epochs: 4, MinCount: 2, Workers: 1, Seed: 11, Subsample: -1},
+			Profile:  core.ProfilerConfig{N: 30, Agg: core.AggIDF},
+			Tracer:   trc,
+			Logger:   quiet,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pc := &pathCounter{hits: make(map[string]int), next: b.Handler()}
+		srv := httptest.NewServer(pc)
+		t.Cleanup(srv.Close)
+		fx.backends = append(fx.backends, b)
+		fx.shardSrv = append(fx.shardSrv, srv)
+		fx.shardTrc = append(fx.shardTrc, trc)
+		fx.counters = append(fx.counters, pc)
+		urls = append(urls, srv.URL)
+	}
+
+	gw, err := New(Config{
+		Backends: urls,
+		// No background loop: tests drive CheckHealth explicitly so
+		// health transitions are deterministic.
+		HealthInterval:  -1,
+		ShardBatchLimit: 8,
+		Tracer:          tracer.New(tracer.Config{Service: "gateway", SampleRate: 1}),
+		Logger:          quiet,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(gw.Close)
+	gw.CheckHealth(context.Background())
+	fx.gw = gw
+	fx.gwSrv = httptest.NewServer(gw.Handler())
+	t.Cleanup(fx.gwSrv.Close)
+	fx.pop = synth.NewPopulation(u, synth.PopulationConfig{Users: users, Days: 1, Seed: 13})
+	return fx
+}
+
+// feedViaGateway replays the population's browsing through the gateway,
+// one report per (user, 10-minute bucket). Pre-training 503s (visits
+// ingested, no model yet) are expected.
+func (fx *clusterFixture) feedViaGateway(t *testing.T) map[int]bool {
+	t.Helper()
+	fed := make(map[int]bool)
+	per := fx.pop.Browse().PerUserVisits()
+	for uid, visits := range per {
+		ext := &server.Extension{BaseURL: fx.gwSrv.URL, User: uid}
+		var batch []string
+		var batchTime int64 = -1
+		flush := func() {
+			if len(batch) == 0 {
+				return
+			}
+			if _, err := ext.Report(batchTime, batch); err != nil {
+				var apiErr *server.APIError
+				if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+					t.Fatalf("report user %d: %v", uid, err)
+				}
+			}
+			fed[uid] = true
+			batch = batch[:0]
+		}
+		for _, v := range visits {
+			if batchTime >= 0 && v.Time-batchTime > 600 {
+				flush()
+				batchTime = -1
+			}
+			if batchTime < 0 {
+				batchTime = v.Time
+			}
+			batch = append(batch, v.Host)
+		}
+		flush()
+	}
+	return fed
+}
+
+// sessions builds n profiling sessions from labelled sites.
+func (fx *clusterFixture) sessions(n int) [][]string {
+	out := make([][]string, n)
+	for i := range out {
+		s := fx.u.Sites[i%len(fx.u.Sites)]
+		sess := []string{fx.u.Hosts[s.Host].Name}
+		for _, sup := range s.Support {
+			sess = append(sess, fx.u.Hosts[sup].Name)
+		}
+		out[i] = sess
+	}
+	return out
+}
+
+// retrainViaGateway triggers a cluster retrain and returns the
+// distribution report.
+func (fx *clusterFixture) retrainViaGateway(t *testing.T) RetrainResponse {
+	t.Helper()
+	resp, err := http.Post(fx.gwSrv.URL+"/v1/retrain", "application/json", bytes.NewReader([]byte("{}")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("gateway retrain → %d: %s", resp.StatusCode, raw)
+	}
+	var out RetrainResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("retrain body: %v: %s", err, raw)
+	}
+	return out
+}
+
+// TestGatewayClusterIntegration is the 3-node acceptance test: reports
+// for ~1K users land on exactly the shard the ring names, a batch
+// scatter-gathers across every shard, and one retrain converges all
+// nodes to the same model version.
+func TestGatewayClusterIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("3-node integration test skipped in -short")
+	}
+	fx := newClusterFixture(t, 3, 1000)
+	fed := fx.feedViaGateway(t)
+	if len(fed) < 900 {
+		t.Fatalf("population produced only %d reporting users", len(fed))
+	}
+
+	// Placement: each shard must hold exactly the users the ring assigns
+	// to it — no failover, no spillover.
+	want := make(map[string]int)
+	for uid := range fed {
+		owner, ok := fx.gw.Ring().Owner(uid)
+		if !ok {
+			t.Fatal("ring empty")
+		}
+		want[owner]++
+	}
+	totalUsers := 0
+	for i, b := range fx.backends {
+		st := b.CurrentStats()
+		totalUsers += st.Users
+		if st.Users != want[fx.shardSrv[i].URL] {
+			t.Errorf("shard %d holds %d users, ring assigns %d", i, st.Users, want[fx.shardSrv[i].URL])
+		}
+		if st.Users == 0 {
+			t.Errorf("shard %d received no users of %d", i, len(fed))
+		}
+	}
+	if totalUsers != len(fed) {
+		t.Fatalf("shards hold %d users total, fed %d — users duplicated or lost", totalUsers, len(fed))
+	}
+
+	// One retrain through the gateway: the designated node trains, the
+	// artifact ships, all shards converge on one version.
+	rep := fx.retrainViaGateway(t)
+	if rep.Version == "" || rep.Partial {
+		t.Fatalf("retrain report: %+v", rep)
+	}
+	if len(rep.Distributed) != 2 {
+		t.Fatalf("distributed to %v, want the 2 non-training shards", rep.Distributed)
+	}
+	for i, b := range fx.backends {
+		if got := b.ModelVersion(); got != rep.Version {
+			t.Fatalf("shard %d at version %q, cluster trained %q", i, got, rep.Version)
+		}
+	}
+	st := fx.gw.ClusterStatus()
+	if !st.Converged || st.ModelVersion != rep.Version || st.ReadyShards != 3 {
+		t.Fatalf("cluster status after retrain: %+v", st)
+	}
+
+	// Post-train, a report through the gateway serves ads end to end.
+	var uid int
+	for uid = range fed {
+		break
+	}
+	ext := &server.Extension{BaseURL: fx.gwSrv.URL, User: uid}
+	if _, err := ext.Report(10_000_000, fx.sessions(1)[0]); err != nil {
+		t.Fatalf("post-train report via gateway: %v", err)
+	}
+
+	// Scatter-gather: a 48-session batch at chunk size 8 must touch
+	// every ready shard and come back whole and in order.
+	sessions := fx.sessions(48)
+	profiles, err := ext.ProfileBatch(context.Background(), sessions)
+	if err != nil {
+		t.Fatalf("batch via gateway: %v", err)
+	}
+	if len(profiles) != len(sessions) {
+		t.Fatalf("got %d profiles for %d sessions", len(profiles), len(sessions))
+	}
+	profiled := 0
+	for _, p := range profiles {
+		if p.Error == "" && len(p.Categories) > 0 {
+			profiled++
+		}
+	}
+	if profiled < len(sessions)/2 {
+		t.Fatalf("only %d/%d sessions profiled", profiled, len(sessions))
+	}
+	for i, pc := range fx.counters {
+		if pc.count("/v1/profile/batch") == 0 {
+			t.Errorf("shard %d served no batch chunk", i)
+		}
+	}
+}
+
+// TestGatewayShedsOnlyDeadShardKeyspace: killing one shard must refuse
+// exactly that shard's users (503 + Retry-After), keep every other
+// user's traffic flowing, and degrade batches to partial results rather
+// than failing them.
+func TestGatewayShedsOnlyDeadShardKeyspace(t *testing.T) {
+	fx := newClusterFixture(t, 3, 60)
+	fx.feedViaGateway(t)
+	rep := fx.retrainViaGateway(t)
+	if rep.Partial {
+		t.Fatalf("retrain partial: %+v", rep)
+	}
+
+	// Kill shard 1 and let the gateway notice.
+	dead := fx.shardSrv[1].URL
+	fx.shardSrv[1].Close()
+	fx.gw.CheckHealth(context.Background())
+	if st := fx.gw.ClusterStatus(); st.AliveShards != 2 {
+		t.Fatalf("alive = %d after kill, want 2", st.AliveShards)
+	}
+
+	// The gateway itself stays ready while any shard lives.
+	resp, err := http.Get(fx.gwSrv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("gateway /readyz → %d with 2/3 shards alive", resp.StatusCode)
+	}
+
+	// Exactly the dead shard's keyspace is shed.
+	session := fx.sessions(1)[0]
+	shed, served := 0, 0
+	for uid := 0; uid < 100; uid++ {
+		owner, _ := fx.gw.Ring().Owner(uid)
+		ext := &server.Extension{BaseURL: fx.gwSrv.URL, User: uid}
+		_, err := ext.Report(20_000_000, session)
+		if owner == dead {
+			var apiErr *server.APIError
+			if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+				t.Fatalf("user %d on dead shard: err = %v, want shed 503", uid, err)
+			}
+			if apiErr.RetryAfter == "" {
+				t.Fatalf("shed 503 for user %d missing Retry-After", uid)
+			}
+			shed++
+		} else {
+			if err != nil {
+				t.Fatalf("user %d on live shard %s failed: %v", uid, owner, err)
+			}
+			served++
+		}
+	}
+	if shed == 0 || served == 0 {
+		t.Fatalf("degenerate split: %d shed / %d served", shed, served)
+	}
+
+	// Batches keep working over the survivors, whole and unflagged.
+	var batchResp server.ProfileBatchResponse
+	raw := postJSON(t, fx.gwSrv.URL+"/v1/profile/batch", server.ProfileBatchRequest{Sessions: fx.sessions(24)}, &batchResp)
+	if raw.StatusCode != http.StatusOK || raw.Header.Get(PartialHeader) != "" {
+		t.Fatalf("batch after clean kill: %d partial=%q", raw.StatusCode, raw.Header.Get(PartialHeader))
+	}
+	if len(batchResp.Profiles) != 24 {
+		t.Fatalf("got %d profiles, want 24", len(batchResp.Profiles))
+	}
+
+	// Now kill shard 2 *without* a health pass: the gateway still
+	// believes it is ready, so its chunks fail mid-flight and must
+	// degrade to per-session errors — the partial-result contract.
+	fx.shardSrv[2].Close()
+	raw = postJSON(t, fx.gwSrv.URL+"/v1/profile/batch", server.ProfileBatchRequest{Sessions: fx.sessions(32)}, &batchResp)
+	if raw.StatusCode != http.StatusOK {
+		t.Fatalf("batch during unnoticed outage → %d, want 200 partial", raw.StatusCode)
+	}
+	if raw.Header.Get(PartialHeader) != "1" {
+		t.Fatal("partial batch not flagged with X-Hostprof-Partial")
+	}
+	if len(batchResp.Profiles) != 32 {
+		t.Fatalf("got %d profiles, want 32", len(batchResp.Profiles))
+	}
+	failed, ok := 0, 0
+	for _, p := range batchResp.Profiles {
+		if p.Error != "" {
+			failed++
+		} else {
+			ok++
+		}
+	}
+	if failed == 0 || ok == 0 {
+		t.Fatalf("partial batch split %d failed / %d ok; want both non-zero", failed, ok)
+	}
+	// The failed request marked the shard dead in-band.
+	if st := fx.gw.ClusterStatus(); st.AliveShards != 1 {
+		t.Fatalf("alive = %d after in-band failure, want 1", st.AliveShards)
+	}
+}
+
+// postJSON posts v and decodes the response body into out, returning
+// the raw response for status/header asserts.
+func postJSON(t *testing.T, url string, v, out any) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("decoding %s: %v: %s", url, err, raw)
+		}
+	}
+	return resp
+}
+
+// TestGatewayTraceSpansCluster: one trace ID covers the whole
+// distributed request — the client span, the gateway's gw.profile_batch
+// span, and handler spans on at least two shards — each visible in the
+// respective process's /debug/traces.
+func TestGatewayTraceSpansCluster(t *testing.T) {
+	fx := newClusterFixture(t, 3, 60)
+	fx.feedViaGateway(t)
+	fx.retrainViaGateway(t)
+
+	clientTrc := tracer.New(tracer.Config{Service: "client", SampleRate: 1})
+	ext := &server.Extension{BaseURL: fx.gwSrv.URL, Tracer: clientTrc}
+	// 48 sessions at chunk size 8 over 3 ready shards: every shard gets
+	// scatter chunks.
+	if _, err := ext.ProfileBatch(context.Background(), fx.sessions(48)); err != nil {
+		t.Fatalf("traced batch: %v", err)
+	}
+
+	clientTraces := clientTrc.Traces()
+	if len(clientTraces) == 0 {
+		t.Fatal("client recorded no trace")
+	}
+	traceID := clientTraces[len(clientTraces)-1].TraceID
+
+	// Push the client's spans to the gateway collector, then read the
+	// merged trace back over HTTP: client and gateway halves share the
+	// trace ID.
+	gwExt := &server.Extension{BaseURL: fx.gwSrv.URL}
+	if err := gwExt.PushTrace(context.Background(), clientTraces[len(clientTraces)-1].Spans); err != nil {
+		t.Fatalf("pushing client spans to gateway: %v", err)
+	}
+	gwTrace := fetchTrace(t, fx.gwSrv.URL, traceID)
+	if !hasSpan(gwTrace, "gw.profile_batch") || !hasSpan(gwTrace, "client.profile_batch") {
+		t.Fatalf("gateway trace %s missing gateway or client span: %+v", traceID, spanNames(gwTrace))
+	}
+
+	// At least two shards carry handler spans under the same trace ID.
+	shardsInTrace := 0
+	for i, srv := range fx.shardSrv {
+		resp, err := http.Get(srv.URL + "/debug/traces?trace=" + traceID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusNotFound {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			continue
+		}
+		var body struct {
+			Traces []tracer.TraceJSON `json:"traces"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if err != nil || len(body.Traces) != 1 {
+			t.Fatalf("shard %d trace fetch: %v (%d traces)", i, err, len(body.Traces))
+		}
+		if body.Traces[0].TraceID != traceID {
+			t.Fatalf("shard %d returned trace %s, want %s", i, body.Traces[0].TraceID, traceID)
+		}
+		if hasSpan(body.Traces[0], "http.profile_batch") {
+			shardsInTrace++
+		}
+	}
+	if shardsInTrace < 2 {
+		t.Fatalf("trace %s spans only %d shard(s), want ≥ 2", traceID, shardsInTrace)
+	}
+}
+
+func fetchTrace(t *testing.T, baseURL, traceID string) tracer.TraceJSON {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/debug/traces?trace=" + traceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("/debug/traces?trace=%s → %d: %s", traceID, resp.StatusCode, raw)
+	}
+	var body struct {
+		Traces []tracer.TraceJSON `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Traces) != 1 {
+		t.Fatalf("got %d traces for one ID", len(body.Traces))
+	}
+	return body.Traces[0]
+}
+
+func hasSpan(tr tracer.TraceJSON, name string) bool {
+	for _, s := range tr.Spans {
+		if s.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func spanNames(tr tracer.TraceJSON) []string {
+	out := make([]string, len(tr.Spans))
+	for i, s := range tr.Spans {
+		out[i] = s.Name
+	}
+	return out
+}

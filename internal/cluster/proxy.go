@@ -1,0 +1,557 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"hostprof/internal/obs"
+	"hostprof/internal/obs/tracer"
+	"hostprof/internal/server"
+)
+
+// maxProxyBody caps a forwarded client request (reports and batches,
+// not model artifacts).
+const maxProxyBody = 4 << 20
+
+// shedRetryAfter is the Retry-After the gateway attaches when refusing
+// a down shard's keyspace: a little beyond the health-probe cadence, so
+// a retrying client lands after the gateway could have noticed the
+// shard's return.
+const shedRetryAfter = "2"
+
+// PartialHeader marks a scatter-gather response in which at least one
+// shard's chunk failed and was degraded to per-session errors.
+const PartialHeader = "X-Hostprof-Partial"
+
+// shardAnswer is one proxied exchange, body fully read.
+type shardAnswer struct {
+	status int
+	body   []byte
+	header http.Header
+}
+
+// doShard performs one HTTP exchange with a shard, recording per-shard
+// metrics and propagating the current span's traceparent so the shard's
+// handler span joins the caller's trace. A transport-level failure
+// marks the shard dead (routing stops before the next health probe).
+func (g *Gateway) doShard(ctx context.Context, method, shard, path string, hdr map[string]string, body []byte) (shardAnswer, error) {
+	ctx, cancel := context.WithTimeout(ctx, g.cfg.ShardTimeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, shard+path, rd)
+	if err != nil {
+		return shardAnswer{}, fmt.Errorf("cluster: building %s %s: %w", method, path, err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	if tp := tracer.FromContext(ctx).Traceparent(); tp != "" {
+		req.Header.Set("traceparent", tp)
+	}
+	start := time.Now()
+	resp, err := g.client.Do(req)
+	g.reg.Histogram("hostprof_gateway_shard_request_seconds", nil, obs.L("backend", shard)).
+		Observe(time.Since(start).Seconds())
+	if err != nil {
+		g.reg.Counter("hostprof_gateway_shard_errors_total", obs.L("backend", shard)).Inc()
+		g.markDead(shard, err)
+		return shardAnswer{}, fmt.Errorf("cluster: %s %s on %s: %w", method, path, shard, err)
+	}
+	defer resp.Body.Close()
+	g.reg.Counter("hostprof_gateway_shard_requests_total",
+		obs.L("backend", shard), obs.L("code", strconv.Itoa(resp.StatusCode))).Inc()
+	ans := shardAnswer{status: resp.StatusCode, header: resp.Header}
+	ans.body, err = io.ReadAll(resp.Body)
+	if err != nil {
+		g.reg.Counter("hostprof_gateway_shard_errors_total", obs.L("backend", shard)).Inc()
+		return shardAnswer{}, fmt.Errorf("cluster: reading %s %s from %s: %w", method, path, shard, err)
+	}
+	return ans, nil
+}
+
+// forwardWithRetry is doShard plus the shed-retry loop: an answer that
+// means "come back later" (429, or 503 with Retry-After — the same
+// contract the Extension client honors) is retried up to ShardRetries
+// times with RetryDelay backoff before being relayed to the client.
+func (g *Gateway) forwardWithRetry(ctx context.Context, method, shard, path string, hdr map[string]string, body []byte) (shardAnswer, error) {
+	for attempt := 0; ; attempt++ {
+		ans, err := g.doShard(ctx, method, shard, path, hdr, body)
+		if err != nil {
+			return ans, err
+		}
+		apiErr := &server.APIError{Status: ans.status, RetryAfter: ans.header.Get("Retry-After")}
+		if attempt >= g.cfg.ShardRetries || !apiErr.Retryable() {
+			return ans, nil
+		}
+		g.met.retries.Inc()
+		delay := server.RetryDelay(apiErr.RetryAfter, attempt, g.cfg.RetryBase, g.cfg.RetryMax)
+		if sp := tracer.FromContext(ctx); sp.Recording() {
+			sp.Event(fmt.Sprintf("shard retry %d after %s (HTTP %d from %s)", attempt+1, delay, ans.status, shard))
+		}
+		timer := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return ans, ctx.Err()
+		case <-timer.C:
+		}
+	}
+}
+
+// relay writes a shard's answer back to the client unchanged (status,
+// JSON body, Retry-After), so talking to the gateway is
+// wire-indistinguishable from talking to the shard.
+func relay(w http.ResponseWriter, ans shardAnswer) {
+	if ct := ans.header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := ans.header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.WriteHeader(ans.status)
+	w.Write(ans.body)
+}
+
+// routeUser is the single-user forwarding path shared by /v1/report and
+// /v1/feedback: hash the user onto the ring, shed if the owner is down,
+// forward otherwise.
+func (g *Gateway) routeUser(w http.ResponseWriter, r *http.Request, path string, user int, raw []byte) {
+	owner, ok := g.Ring().Owner(user)
+	if !ok {
+		writeError(w, http.StatusServiceUnavailable, "cluster: empty ring")
+		return
+	}
+	if sp := tracer.FromContext(r.Context()); sp.Recording() {
+		sp.SetAttr("shard", owner)
+		sp.SetAttr("user", strconv.Itoa(user))
+	}
+	if st := g.shardSnapshot(owner); !st.alive {
+		// The owning shard is down: its keyspace is shed, everyone
+		// else's is unaffected. No failover — the user's history lives
+		// only on the owner, and writing elsewhere would corrupt
+		// placement.
+		g.met.shed.Inc()
+		w.Header().Set("Retry-After", shedRetryAfter)
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("cluster: shard %s (owner of user %d) is down; retry later", owner, user))
+		return
+	}
+	ans, err := g.forwardWithRetry(r.Context(), http.MethodPost, owner, path,
+		map[string]string{"Content-Type": "application/json"}, raw)
+	if err != nil {
+		w.Header().Set("Retry-After", shedRetryAfter)
+		writeError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	relay(w, ans)
+}
+
+func (g *Gateway) handleReport(w http.ResponseWriter, r *http.Request) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxProxyBody))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, "cluster: report too large")
+		return
+	}
+	var req server.ReportRequest
+	if err := json.Unmarshal(raw, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "cluster: invalid JSON: "+err.Error())
+		return
+	}
+	g.routeUser(w, r, "/v1/report", req.User, raw)
+}
+
+func (g *Gateway) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxProxyBody))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, "cluster: feedback too large")
+		return
+	}
+	var req server.FeedbackRequest
+	if err := json.Unmarshal(raw, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "cluster: invalid JSON: "+err.Error())
+		return
+	}
+	g.routeUser(w, r, "/v1/feedback", req.User, raw)
+}
+
+// handleProfileBatch scatter-gathers a batch across every ready shard.
+// Sessions are standalone host lists (not user-keyed) and every ready
+// shard serves the same model generation, so any shard can profile any
+// session: the gateway chunks the batch, spreads chunks round-robin,
+// and merges results in request order. A chunk whose shard fails
+// degrades to per-session errors instead of failing the batch —
+// responses with any degraded chunk carry the X-Hostprof-Partial
+// header.
+func (g *Gateway) handleProfileBatch(w http.ResponseWriter, r *http.Request) {
+	var req server.ProfileBatchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxProxyBody)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "cluster: invalid JSON: "+err.Error())
+		return
+	}
+	if len(req.Sessions) > g.cfg.MaxSessionsPerBatch {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("cluster: %d sessions exceeds limit %d", len(req.Sessions), g.cfg.MaxSessionsPerBatch))
+		return
+	}
+	shards := g.readyShards()
+	if len(shards) == 0 {
+		w.Header().Set("Retry-After", shedRetryAfter)
+		writeError(w, http.StatusServiceUnavailable, "cluster: no ready shards")
+		return
+	}
+	if sp := tracer.FromContext(r.Context()); sp.Recording() {
+		sp.SetAttr("sessions", strconv.Itoa(len(req.Sessions)))
+		sp.SetAttr("shards", strconv.Itoa(len(shards)))
+	}
+
+	type chunk struct {
+		start, end int
+		shard      string
+	}
+	var chunks []chunk
+	for i, start := 0, 0; start < len(req.Sessions); i, start = i+1, start+g.cfg.ShardBatchLimit {
+		end := start + g.cfg.ShardBatchLimit
+		if end > len(req.Sessions) {
+			end = len(req.Sessions)
+		}
+		chunks = append(chunks, chunk{start: start, end: end, shard: shards[i%len(shards)]})
+	}
+
+	results := make([]server.ProfileResult, len(req.Sessions))
+	var (
+		wg      sync.WaitGroup
+		partial sync.Once
+		degrade bool
+	)
+	for _, c := range chunks {
+		wg.Add(1)
+		go func(c chunk) {
+			defer wg.Done()
+			body, err := json.Marshal(server.ProfileBatchRequest{Sessions: req.Sessions[c.start:c.end]})
+			if err == nil {
+				var ans shardAnswer
+				ans, err = g.forwardWithRetry(r.Context(), http.MethodPost, c.shard, "/v1/profile/batch",
+					map[string]string{"Content-Type": "application/json"}, body)
+				if err == nil && ans.status != http.StatusOK {
+					err = fmt.Errorf("cluster: shard %s answered HTTP %d", c.shard, ans.status)
+				}
+				if err == nil {
+					var resp server.ProfileBatchResponse
+					if jerr := json.Unmarshal(ans.body, &resp); jerr != nil {
+						err = fmt.Errorf("cluster: decoding batch from %s: %w", c.shard, jerr)
+					} else if len(resp.Profiles) != c.end-c.start {
+						err = fmt.Errorf("cluster: shard %s returned %d profiles for %d sessions",
+							c.shard, len(resp.Profiles), c.end-c.start)
+					} else {
+						copy(results[c.start:c.end], resp.Profiles)
+						return
+					}
+				}
+			}
+			// Degrade this chunk only: the sessions the other shards
+			// handled still come back profiled.
+			partial.Do(func() { degrade = true })
+			for i := c.start; i < c.end; i++ {
+				results[i] = server.ProfileResult{Error: err.Error()}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if degrade {
+		g.met.batchPartial.Inc()
+		w.Header().Set(PartialHeader, "1")
+		if sp := tracer.FromContext(r.Context()); sp.Recording() {
+			sp.Event("partial batch: at least one shard chunk degraded")
+		}
+	}
+	writeJSON(w, http.StatusOK, server.ProfileBatchResponse{Profiles: results})
+}
+
+// RetrainResponse is the gateway's /v1/retrain body: which shard
+// trained, the resulting model version, and how distribution went.
+type RetrainResponse struct {
+	TrainedOn   string            `json:"trained_on"`
+	Version     string            `json:"version"`
+	Distributed []string          `json:"distributed"`       // peers now at Version (includes already-converged)
+	Failed      map[string]string `json:"failed,omitempty"`  // peer → error
+	Partial     bool              `json:"partial,omitempty"` // some peer failed to install
+}
+
+// handleRetrain implements cluster-wide training: the designated shard
+// (first alive backend in configured order) retrains over its own
+// keyspace, then the gateway pulls the versioned artifact once and
+// pushes it to every other alive shard. The call is synchronous; 200
+// means the cluster converged, 207-style partial success is flagged in
+// the body and by a 200 + "partial": true (failed peers converge later
+// via the health loop's anti-entropy).
+func (g *Gateway) handleRetrain(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.RetrainTimeout)
+	defer cancel()
+	trainer := g.trainNode()
+	if trainer == "" {
+		w.Header().Set("Retry-After", shedRetryAfter)
+		writeError(w, http.StatusServiceUnavailable, "cluster: no alive shard to train on")
+		return
+	}
+	if sp := tracer.FromContext(ctx); sp.Recording() {
+		sp.SetAttr("trainer", trainer)
+	}
+	// The retrain itself ignores ShardTimeout — training legitimately
+	// takes longer than a serving request — so it bypasses doShard.
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, trainer+"/v1/retrain", bytes.NewReader([]byte("{}")))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tp := tracer.FromContext(ctx).Traceparent(); tp != "" {
+		req.Header.Set("traceparent", tp)
+	}
+	start := time.Now()
+	resp, err := g.client.Do(req)
+	if err != nil {
+		g.markDead(trainer, err)
+		writeError(w, http.StatusBadGateway, fmt.Sprintf("cluster: retrain on %s: %v", trainer, err))
+		return
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	g.reg.Counter("hostprof_gateway_shard_requests_total",
+		obs.L("backend", trainer), obs.L("code", strconv.Itoa(resp.StatusCode))).Inc()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		relay(w, shardAnswer{status: resp.StatusCode, body: body, header: resp.Header})
+		return
+	}
+	g.log.Info("cluster retrain finished",
+		slog.String("trainer", trainer), slog.Duration("took", time.Since(start)))
+
+	out, err := g.distributeModel(ctx, trainer)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	// Refresh health state so /v1/cluster reflects convergence
+	// immediately rather than after the next probe tick.
+	g.CheckHealth(ctx)
+	writeJSON(w, http.StatusOK, out)
+}
+
+// distributeModel pulls the artifact from one shard and pushes it to
+// every other alive shard that is not already at that version.
+func (g *Gateway) distributeModel(ctx context.Context, from string) (RetrainResponse, error) {
+	version, data, err := g.fetchModel(ctx, from)
+	if err != nil {
+		return RetrainResponse{}, fmt.Errorf("cluster: pulling model from %s: %w", from, err)
+	}
+	out := RetrainResponse{TrainedOn: from, Version: version, Failed: map[string]string{}}
+	for _, peer := range g.aliveShards() {
+		if peer == from {
+			continue
+		}
+		if g.shardSnapshot(peer).modelVersion == version {
+			out.Distributed = append(out.Distributed, peer)
+			continue
+		}
+		if err := g.pushModel(ctx, peer, version, data); err != nil {
+			out.Failed[peer] = err.Error()
+			out.Partial = true
+			g.met.pushErrors.Inc()
+			g.log.Warn("model push failed", slog.String("peer", peer), slog.String("err", err.Error()))
+			continue
+		}
+		out.Distributed = append(out.Distributed, peer)
+		g.met.modelPushes.Inc()
+	}
+	if len(out.Failed) == 0 {
+		out.Failed = nil
+	}
+	return out, nil
+}
+
+// fetchModel GETs a shard's model artifact, using the gateway's cached
+// copy when the shard still serves the cached version (If-None-Match →
+// 304 spares re-transferring a multi-MB artifact every sync tick).
+func (g *Gateway) fetchModel(ctx context.Context, from string) (version string, data []byte, err error) {
+	g.mu.Lock()
+	cachedVersion, cachedData := g.modelVersion, g.modelData
+	g.mu.Unlock()
+	hdr := map[string]string{}
+	if cachedVersion != "" {
+		hdr["If-None-Match"] = `"` + cachedVersion + `"`
+	}
+	ans, err := g.doShard(ctx, http.MethodGet, from, "/v1/model", hdr, nil)
+	if err != nil {
+		return "", nil, err
+	}
+	switch ans.status {
+	case http.StatusNotModified:
+		return cachedVersion, cachedData, nil
+	case http.StatusOK:
+		version = ans.header.Get(server.ModelVersionHeader)
+		if version == "" {
+			return "", nil, fmt.Errorf("shard %s served a model without a version header", from)
+		}
+		g.mu.Lock()
+		g.modelVersion, g.modelData = version, ans.body
+		g.mu.Unlock()
+		return version, ans.body, nil
+	default:
+		return "", nil, fmt.Errorf("shard %s answered HTTP %d to GET /v1/model", from, ans.status)
+	}
+}
+
+// pushModel PUTs an artifact to a peer with its version header, so the
+// peer verifies content integrity before installing.
+func (g *Gateway) pushModel(ctx context.Context, peer, version string, data []byte) error {
+	ans, err := g.doShard(ctx, http.MethodPut, peer, "/v1/model", map[string]string{
+		"Content-Type":            "application/octet-stream",
+		server.ModelVersionHeader: version,
+	}, data)
+	if err != nil {
+		return err
+	}
+	if ans.status != http.StatusNoContent {
+		return fmt.Errorf("peer %s answered HTTP %d to PUT /v1/model: %s",
+			peer, ans.status, bytes.TrimSpace(ans.body))
+	}
+	return nil
+}
+
+// SyncModels is the health loop's anti-entropy pass: when alive shards
+// disagree on model version (a restarted shard that recovered an older
+// generation, a peer that missed a distribution), re-ship the
+// designated source's artifact until everyone matches. The source is
+// the first alive configured backend serving any model — the same
+// order retrain uses, so sync and retrain never fight. Returns the
+// number of pushes performed.
+func (g *Gateway) SyncModels(ctx context.Context) int {
+	var source, want string
+	g.mu.Lock()
+	for _, name := range g.cfg.Backends {
+		if s := g.shards[name]; s != nil && s.alive && s.modelVersion != "" {
+			source, want = name, s.modelVersion
+			break
+		}
+	}
+	if source == "" {
+		g.mu.Unlock()
+		return 0
+	}
+	var stale []string
+	for _, name := range g.cfg.Backends {
+		if s := g.shards[name]; s != nil && s.alive && s.modelVersion != want {
+			stale = append(stale, name)
+		}
+	}
+	g.mu.Unlock()
+	if len(stale) == 0 {
+		return 0
+	}
+	version, data, err := g.fetchModel(ctx, source)
+	if err != nil {
+		g.log.Warn("model sync: fetch failed", slog.String("source", source), slog.String("err", err.Error()))
+		return 0
+	}
+	pushed := 0
+	for _, peer := range stale {
+		if err := g.pushModel(ctx, peer, version, data); err != nil {
+			g.met.pushErrors.Inc()
+			g.log.Warn("model sync: push failed", slog.String("peer", peer), slog.String("err", err.Error()))
+			continue
+		}
+		g.met.modelPushes.Inc()
+		pushed++
+		g.mu.Lock()
+		if s := g.shards[peer]; s != nil {
+			s.modelVersion = version
+			s.ready = s.alive && !s.degraded
+		}
+		g.mu.Unlock()
+		g.log.Info("model sync: peer converged", slog.String("peer", peer), slog.String("version", version))
+	}
+	return pushed
+}
+
+// handleStats aggregates /v1/stats across alive shards: visit and user
+// counts sum (placement partitions users), impression and click maps
+// merge, CTR is recomputed from the merged totals, and Trained reports
+// whether every alive shard serves a model.
+func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
+	shards := g.aliveShards()
+	if len(shards) == 0 {
+		writeError(w, http.StatusServiceUnavailable, "cluster: no alive shards")
+		return
+	}
+	type answer struct {
+		st  server.Stats
+		err error
+	}
+	answers := make([]answer, len(shards))
+	var wg sync.WaitGroup
+	for i, shard := range shards {
+		wg.Add(1)
+		go func(i int, shard string) {
+			defer wg.Done()
+			ans, err := g.doShard(r.Context(), http.MethodGet, shard, "/v1/stats", nil, nil)
+			if err == nil && ans.status != http.StatusOK {
+				err = fmt.Errorf("HTTP %d", ans.status)
+			}
+			if err == nil {
+				err = json.Unmarshal(ans.body, &answers[i].st)
+			}
+			answers[i].err = err
+		}(i, shard)
+	}
+	wg.Wait()
+
+	agg := server.Stats{Trained: true, Impressions: map[string]int64{}, Clicks: map[string]int64{}, CTRPercent: map[string]float64{}}
+	reached := 0
+	for _, a := range answers {
+		if a.err != nil {
+			continue
+		}
+		reached++
+		agg.Visits += a.st.Visits
+		agg.Users += a.st.Users
+		agg.Trained = agg.Trained && a.st.Trained
+		if a.st.VocabSize > agg.VocabSize {
+			agg.VocabSize = a.st.VocabSize
+		}
+		for k, v := range a.st.Impressions {
+			agg.Impressions[k] += v
+		}
+		for k, v := range a.st.Clicks {
+			agg.Clicks[k] += v
+		}
+	}
+	if reached == 0 {
+		writeError(w, http.StatusBadGateway, "cluster: no shard answered stats")
+		return
+	}
+	for k, imp := range agg.Impressions {
+		if imp > 0 {
+			agg.CTRPercent[k] = 100 * float64(agg.Clicks[k]) / float64(imp)
+		}
+	}
+	if reached < len(shards) {
+		w.Header().Set(PartialHeader, "1")
+	}
+	writeJSON(w, http.StatusOK, agg)
+}
+
+// handleCluster serves the operator view: ring membership, per-shard
+// health and model versions, convergence.
+func (g *Gateway) handleCluster(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, g.ClusterStatus())
+}

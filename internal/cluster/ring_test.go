@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingDeterministicPlacement: placement is a pure function of the
+// member set — node order, ring instance, and process must not matter,
+// or gateways would disagree on owners.
+func TestRingDeterministicPlacement(t *testing.T) {
+	a, err := NewRing([]string{"http://s1", "http://s2", "http://s3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"http://s3", "http://s1", "http://s2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 10_000; u++ {
+		oa, ok := a.Owner(u)
+		ob, _ := b.Owner(u)
+		if !ok || oa != ob {
+			t.Fatalf("user %d: owner %q vs %q (ok=%v)", u, oa, ob, ok)
+		}
+	}
+	if !a.Equal([]string{"http://s2", "http://s3", "http://s1"}) {
+		t.Fatal("Equal rejects the same set in a different order")
+	}
+	if a.Equal([]string{"http://s1", "http://s2"}) {
+		t.Fatal("Equal accepts a subset")
+	}
+}
+
+// TestRingSpread: with the default vnode count, no shard's share of a
+// 30k-user keyspace strays badly from uniform.
+func TestRingSpread(t *testing.T) {
+	nodes := []string{"http://s1", "http://s2", "http://s3"}
+	r, err := NewRing(nodes, DefaultVirtualNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const users = 30_000
+	spread := r.Spread(users)
+	total := 0
+	for _, n := range nodes {
+		got := spread[n]
+		total += got
+		share := float64(got) / users
+		if share < 0.15 || share > 0.55 {
+			t.Errorf("%s owns %.1f%% of the keyspace; want roughly 33%%", n, share*100)
+		}
+	}
+	if total != users {
+		t.Fatalf("owners for %d of %d users", total, users)
+	}
+}
+
+// TestRingStabilityOnMembershipChange is the consistent-hashing
+// contract: removing a node moves exactly that node's keys (every
+// other key keeps its owner), and adding a node steals only about
+// 1/(n+1) of the keyspace.
+func TestRingStabilityOnMembershipChange(t *testing.T) {
+	three := []string{"http://s1", "http://s2", "http://s3"}
+	r3, err := NewRing(three, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing(three[:2], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const users = 20_000
+	for u := 0; u < users; u++ {
+		before, _ := r3.Owner(u)
+		after, _ := r2.Owner(u)
+		if before != "http://s3" && after != before {
+			t.Fatalf("user %d moved %s → %s although its owner survived", u, before, after)
+		}
+	}
+
+	r4, err := NewRing(append([]string{"http://s4"}, three...), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for u := 0; u < users; u++ {
+		before, _ := r3.Owner(u)
+		after, _ := r4.Owner(u)
+		if after != before {
+			if after != "http://s4" {
+				t.Fatalf("user %d moved %s → %s, not to the new node", u, before, after)
+			}
+			moved++
+		}
+	}
+	// Ideal is 25%; vnode granularity wobbles it. Well under half the
+	// keyspace must stay put for "consistent" to mean anything.
+	if frac := float64(moved) / users; frac < 0.10 || frac > 0.45 {
+		t.Fatalf("adding a 4th node moved %.1f%% of keys; want ~25%%", frac*100)
+	}
+}
+
+// TestRingValidation: duplicate or empty names fail construction, and
+// an empty ring owns nothing rather than panicking.
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing([]string{"a", "a"}, 0); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Fatal("empty node name accepted")
+	}
+	empty, err := NewRing(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owner, ok := empty.Owner(1); ok || owner != "" {
+		t.Fatalf("empty ring returned owner %q", owner)
+	}
+}
+
+func BenchmarkRingOwner(b *testing.B) {
+	nodes := make([]string, 16)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("http://shard-%d", i)
+	}
+	r, err := NewRing(nodes, DefaultVirtualNodes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := r.Owner(i); !ok {
+			b.Fatal("no owner")
+		}
+	}
+}

@@ -35,8 +35,11 @@ func (r *Registry) VarzHandler() http.Handler {
 	})
 }
 
-// HealthzHandler serves a readiness probe: 200 "ok" when ready() is
-// true, 503 "not ready" otherwise. A nil ready means always ready.
+// HealthzHandler serves a liveness/health probe: 200 "ok" when ready()
+// is true, 503 "not ready" otherwise. A nil ready means always healthy —
+// the pure liveness probe ("the process is serving"), which is what
+// /healthz should answer; route /readyz to ReadyzHandler for the
+// routing decision ("send this node traffic").
 func HealthzHandler(ready func() bool) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -45,5 +48,24 @@ func HealthzHandler(ready func() bool) http.Handler {
 			return
 		}
 		w.Write([]byte("ok\n"))
+	})
+}
+
+// ReadyzHandler serves a readiness probe with a structured body: status
+// returns the overall verdict plus any JSON-encodable detail (model
+// version, degraded state, ...), rendered with 200 when ready and 503
+// when not. Load balancers key on the status code; richer clients (a
+// cluster gateway) decode the body.
+func ReadyzHandler(status func() (ready bool, detail any)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		ready, detail := status()
+		w.Header().Set("Content-Type", "application/json")
+		if !ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		if detail == nil {
+			detail = map[string]bool{"ready": ready}
+		}
+		_ = json.NewEncoder(w).Encode(detail)
 	})
 }

@@ -4,9 +4,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"strings"
+	"time"
 
 	"hostprof/internal/obs/tracer"
 )
@@ -27,6 +31,20 @@ type Extension struct {
 	// span and sends a W3C traceparent header, so the backend's handler
 	// spans join the client's trace.
 	Tracer *tracer.Tracer
+	// MaxRetries re-sends a request the backend shed (429, always) or
+	// declined with an explicit Retry-After on 503 — the two answers
+	// that mean "come back later", not "this request is wrong". Each
+	// retry waits per RetryDelay: the server's Retry-After when given,
+	// exponential backoff otherwise, both capped at RetryMax. A 503
+	// without Retry-After (e.g. model-not-trained, where the report's
+	// visits were already ingested) is never retried. 0 disables
+	// retries — every call maps to exactly one HTTP exchange.
+	MaxRetries int
+	// RetryBase seeds the exponential backoff (default 100ms).
+	RetryBase time.Duration
+	// RetryMax caps every retry wait, including server-requested ones
+	// (default 2s) — a misbehaving Retry-After cannot stall the client.
+	RetryMax time.Duration
 }
 
 func (e *Extension) client() *http.Client {
@@ -38,7 +56,8 @@ func (e *Extension) client() *http.Client {
 
 // post sends a JSON body and decodes a JSON response into out (nil out
 // accepts 2xx with any body). The call is wrapped in a span named op
-// and carries the span's traceparent.
+// and carries the span's traceparent. Shed answers are retried per
+// MaxRetries; the span covers every attempt.
 func (e *Extension) post(ctx context.Context, op, path string, in, out any) error {
 	ctx, span := e.Tracer.StartSpan(ctx, op)
 	defer span.End()
@@ -49,11 +68,48 @@ func (e *Extension) post(ctx context.Context, op, path string, in, out any) erro
 		span.Error(err)
 		return err
 	}
+	for attempt := 0; ; attempt++ {
+		err := e.postOnce(ctx, span, path, body, out)
+		var apiErr *APIError
+		if err == nil || attempt >= e.MaxRetries || !errors.As(err, &apiErr) || !apiErr.Retryable() {
+			if err != nil {
+				span.Error(err)
+			}
+			return err
+		}
+		delay := RetryDelay(apiErr.RetryAfter, attempt, e.retryBase(), e.retryMax())
+		span.Event(fmt.Sprintf("retry %d after %s (HTTP %d, Retry-After %q)",
+			attempt+1, delay, apiErr.Status, apiErr.RetryAfter))
+		timer := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			span.Error(ctx.Err())
+			return ctx.Err()
+		case <-timer.C:
+		}
+	}
+}
+
+func (e *Extension) retryBase() time.Duration {
+	if e.RetryBase > 0 {
+		return e.RetryBase
+	}
+	return 100 * time.Millisecond
+}
+
+func (e *Extension) retryMax() time.Duration {
+	if e.RetryMax > 0 {
+		return e.RetryMax
+	}
+	return 2 * time.Second
+}
+
+// postOnce is one HTTP exchange of post's retry loop.
+func (e *Extension) postOnce(ctx context.Context, span *tracer.Span, path string, body []byte, out any) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, e.BaseURL+path, bytes.NewReader(body))
 	if err != nil {
-		err = fmt.Errorf("server client: %s: %w", path, err)
-		span.Error(err)
-		return err
+		return fmt.Errorf("server client: %s: %w", path, err)
 	}
 	req.Header.Set("Content-Type", "application/json")
 	if tp := span.Traceparent(); tp != "" {
@@ -61,9 +117,7 @@ func (e *Extension) post(ctx context.Context, op, path string, in, out any) erro
 	}
 	resp, err := e.client().Do(req)
 	if err != nil {
-		err = fmt.Errorf("server client: %s: %w", path, err)
-		span.Error(err)
-		return err
+		return fmt.Errorf("server client: %s: %w", path, err)
 	}
 	defer resp.Body.Close()
 	span.SetAttr("code", fmt.Sprint(resp.StatusCode))
@@ -81,18 +135,36 @@ func (e *Extension) post(ctx context.Context, op, path string, in, out any) erro
 		if ra := resp.Header.Get("Retry-After"); ra != "" {
 			apiErr.RetryAfter = ra
 		}
-		span.Error(apiErr)
 		return apiErr
 	}
 	if out == nil {
 		return nil
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		err = fmt.Errorf("server client: decoding %s: %w", path, err)
-		span.Error(err)
-		return err
+		return fmt.Errorf("server client: decoding %s: %w", path, err)
 	}
 	return nil
+}
+
+// RetryDelay computes how long to wait before retry number attempt
+// (0-based): the server's Retry-After when it parses to a positive
+// duration, exponential backoff from base otherwise — both capped at
+// max, so neither a hostile header nor deep backoff can stall a caller.
+// Shared by the Extension client and the cluster gateway's shard
+// retries.
+func RetryDelay(retryAfter string, attempt int, base, max time.Duration) time.Duration {
+	if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs > 0 {
+		d := time.Duration(secs) * time.Second
+		if d > max {
+			return max
+		}
+		return d
+	}
+	d := base << attempt
+	if d > max || d <= 0 { // <<-overflow guard
+		return max
+	}
+	return d
 }
 
 // APIError is a non-2xx backend answer.
@@ -107,6 +179,21 @@ type APIError struct {
 // Error implements error.
 func (e *APIError) Error() string {
 	return fmt.Sprintf("server client: HTTP %d: %s", e.Status, e.Message)
+}
+
+// Retryable reports whether the answer means "come back later": a shed
+// request (429) or an explicitly scheduled 503 (Retry-After present).
+// A bare 503 is a state answer (model not trained, shard down hard) —
+// retrying it blind would duplicate work the backend already did, so it
+// is surfaced instead.
+func (e *APIError) Retryable() bool {
+	switch e.Status {
+	case http.StatusTooManyRequests:
+		return true
+	case http.StatusServiceUnavailable:
+		return e.RetryAfter != ""
+	}
+	return false
 }
 
 // Report sends the hostnames observed since the last report and returns

@@ -1,0 +1,134 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestClientRetriesShedRequests: a 429 + Retry-After answer is retried
+// with bounded backoff until the backend admits the request; the caller
+// sees one successful call, not three errors.
+func TestClientRetriesShedRequests(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "server overloaded, retry later")
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer srv.Close()
+
+	ext := &Extension{
+		BaseURL:    srv.URL,
+		MaxRetries: 3,
+		// Retry-After says 1s; RetryMax bounds it so the test stays fast
+		// and a hostile header cannot stall a client.
+		RetryBase: time.Millisecond,
+		RetryMax:  5 * time.Millisecond,
+	}
+	start := time.Now()
+	if err := ext.Feedback(1, "original", false); err != nil {
+		t.Fatalf("call failed despite retry budget: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("backend saw %d calls, want 3", got)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("retries took %s; Retry-After was not bounded by RetryMax", elapsed)
+	}
+}
+
+// TestClientRetryBudgetExhausted: a persistently shedding backend
+// surfaces the final 429 after MaxRetries attempts.
+func TestClientRetryBudgetExhausted(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "still overloaded")
+	}))
+	defer srv.Close()
+
+	ext := &Extension{BaseURL: srv.URL, MaxRetries: 2, RetryBase: time.Millisecond, RetryMax: 2 * time.Millisecond}
+	err := ext.Feedback(1, "original", false)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusTooManyRequests {
+		t.Fatalf("err = %v, want APIError 429", err)
+	}
+	if got := calls.Load(); got != 3 { // 1 initial + 2 retries
+		t.Fatalf("backend saw %d calls, want 3", got)
+	}
+}
+
+// TestClientDoesNotRetryBare503: 503 without Retry-After is a state
+// answer (e.g. model not trained — the report's visits were already
+// ingested); blind replay would duplicate them.
+func TestClientDoesNotRetryBare503(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "server: model not trained yet")
+	}))
+	defer srv.Close()
+
+	ext := &Extension{BaseURL: srv.URL, MaxRetries: 5, RetryBase: time.Millisecond}
+	_, err := ext.Report(1, []string{"a.example"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want APIError 503", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("backend saw %d calls, want 1 (no retry)", got)
+	}
+}
+
+// TestClientRetryHonorsContext: cancellation during a retry wait
+// returns promptly with the context error.
+func TestClientRetryHonorsContext(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "overloaded")
+	}))
+	defer srv.Close()
+
+	ext := &Extension{BaseURL: srv.URL, MaxRetries: 10, RetryBase: 50 * time.Millisecond, RetryMax: time.Minute}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	err := ext.FeedbackContext(ctx, 1, "original", false)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}
+
+// TestRetryDelay pins the backoff schedule: server-scheduled waits win
+// but are capped; otherwise the wait doubles from base up to max.
+func TestRetryDelay(t *testing.T) {
+	base, max := 100*time.Millisecond, 2*time.Second
+	cases := []struct {
+		retryAfter string
+		attempt    int
+		want       time.Duration
+	}{
+		{"", 0, 100 * time.Millisecond},
+		{"", 1, 200 * time.Millisecond},
+		{"", 4, 1600 * time.Millisecond},
+		{"", 5, 2 * time.Second},  // capped
+		{"", 63, 2 * time.Second}, // shift overflow guarded
+		{"1", 0, time.Second},
+		{"60", 0, 2 * time.Second}, // server ask capped
+		{"0", 2, 400 * time.Millisecond},
+		{"soon", 0, 100 * time.Millisecond}, // unparseable → backoff
+	}
+	for _, c := range cases {
+		if got := RetryDelay(c.retryAfter, c.attempt, base, max); got != c.want {
+			t.Errorf("RetryDelay(%q, %d) = %s, want %s", c.retryAfter, c.attempt, got, c.want)
+		}
+	}
+}

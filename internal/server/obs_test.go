@@ -36,9 +36,14 @@ var sampleLine = regexp.MustCompile(
 func TestObservabilityEndpoints(t *testing.T) {
 	fx := newBackendFixture(t)
 
-	// Not ready before the first training.
-	if code, body, _ := get(t, fx.srv.URL+"/healthz"); code != http.StatusServiceUnavailable {
-		t.Fatalf("healthz before training: %d %q", code, body)
+	// Liveness holds from the first request; readiness flips only once
+	// the model is trained.
+	if code, body, _ := get(t, fx.srv.URL+"/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz (liveness) before training: %d %q", code, body)
+	}
+	if code, body, _ := get(t, fx.srv.URL+"/readyz"); code != http.StatusServiceUnavailable ||
+		!strings.Contains(body, `"trained":false`) {
+		t.Fatalf("readyz before training: %d %q", code, body)
 	}
 
 	fx.feedVisits(t)
@@ -48,6 +53,17 @@ func TestObservabilityEndpoints(t *testing.T) {
 	}
 	if code, body, _ := get(t, fx.srv.URL+"/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
 		t.Fatalf("healthz after training: %d %q", code, body)
+	}
+	code, body, _ := get(t, fx.srv.URL+"/readyz")
+	if code != http.StatusOK {
+		t.Fatalf("readyz after training: %d %q", code, body)
+	}
+	var rd Readiness
+	if err := json.Unmarshal([]byte(body), &rd); err != nil {
+		t.Fatalf("readyz body: %v", err)
+	}
+	if !rd.Ready || !rd.Trained || rd.StoreDegraded || rd.ModelVersion == "" || rd.Visits == 0 {
+		t.Fatalf("readyz body after training: %+v", rd)
 	}
 	fx.feedVisits(t) // now served by a trained model → profiles run
 	if err := ext.Feedback(1, "eavesdropper", true); err != nil {

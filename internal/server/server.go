@@ -172,6 +172,7 @@ type backendMetrics struct {
 	profileSeconds *obs.Histogram
 	shed           *obs.Counter
 	panics         *obs.Counter
+	modelImports   *obs.Counter
 }
 
 var trainBuckets = obs.ExpBuckets(0.01, 4, 10)
@@ -198,6 +199,7 @@ func newBackendMetrics(reg *obs.Registry) backendMetrics {
 		profileSeconds: reg.Histogram("hostprof_profile_seconds", nil),
 		shed:           reg.Counter("hostprof_http_shed_total"),
 		panics:         reg.Counter("hostprof_http_panics_total"),
+		modelImports:   reg.Counter("hostprof_model_imports_total"),
 	}
 }
 
@@ -365,7 +367,7 @@ func (b *Backend) Close() error {
 func (b *Backend) Metrics() *obs.Registry { return b.reg }
 
 // Ready reports whether the model has been trained, i.e. whether
-// /v1/report can serve ads; it backs the /healthz readiness probe.
+// /v1/report can serve ads; it feeds the /readyz readiness probe.
 func (b *Backend) Ready() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -737,10 +739,13 @@ type FeedbackRequest struct {
 //	POST /v1/profile/batch  ProfileBatchRequest → ProfileBatchResponse
 //	POST /v1/feedback   FeedbackRequest → 204
 //	POST /v1/retrain    (empty)        → 204 (?async=1 → 202)
+//	GET  /v1/model      → serialized model (ETag/If-None-Match version negotiation)
+//	PUT  /v1/model      → install a model artifact (204 + version header)
 //	GET  /v1/stats      → Stats
 //	GET  /metrics       → Prometheus text exposition
 //	GET  /varz          → JSON metrics snapshot
-//	GET  /healthz       → readiness (200 once the model is trained)
+//	GET  /healthz       → liveness (200 while the process serves)
+//	GET  /readyz        → readiness JSON (trained, store-degraded, model version)
 //	GET  /debug/statusz → single-page operational view (HTML, ?format=json)
 //	GET  /debug/prof/   → profile-capture ring (with Config.Profiler)
 //
@@ -758,9 +763,21 @@ func (b *Backend) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/feedback", b.instrument("feedback", b.faulty("feedback", b.handleFeedback)))
 	mux.HandleFunc("POST /v1/retrain", b.instrument("retrain", b.faulty("retrain", b.handleRetrain)))
 	mux.HandleFunc("GET /v1/stats", b.instrument("stats", b.handleStats))
+	mux.HandleFunc("GET /v1/model", b.instrument("model_get", b.handleModelGet))
+	mux.HandleFunc("HEAD /v1/model", b.handleModelGet)
+	mux.HandleFunc("PUT /v1/model", b.instrument("model_put", b.faulty("model_put", b.handleModelPut)))
 	mux.Handle("GET /metrics", b.reg.MetricsHandler())
 	mux.Handle("GET /varz", b.reg.VarzHandler())
-	mux.Handle("GET /healthz", obs.HealthzHandler(b.Ready))
+	// Liveness and readiness are deliberately split: /healthz answers
+	// "is the process up" (always ok while serving — restarting an
+	// untrained shard fixes nothing), /readyz answers "route traffic
+	// here" and carries the state a gateway needs to route around sick
+	// shards.
+	mux.Handle("GET /healthz", obs.HealthzHandler(nil))
+	mux.Handle("GET /readyz", obs.ReadyzHandler(func() (bool, any) {
+		rd := b.Readiness()
+		return rd.Ready, rd
+	}))
 	if b.tr.Enabled() {
 		mux.Handle("/debug/traces", b.tr.Handler())
 	}

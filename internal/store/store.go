@@ -24,6 +24,9 @@
 package store
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -184,8 +187,9 @@ type Store struct {
 	degradeMu sync.Mutex
 	closing   bool
 
-	modelMu sync.Mutex
-	model   *core.Model
+	modelMu  sync.Mutex
+	model    *core.Model
+	artifact *ModelArtifact // cached serialized form; nil until first export
 
 	snapMu sync.Mutex // serializes Snapshot calls
 	rec    RecoveryStats
@@ -476,10 +480,75 @@ func (s *Store) Model() *core.Model {
 }
 
 // SetModel installs a freshly trained model; it is persisted by the next
-// Snapshot.
+// Snapshot. Any cached model artifact is invalidated.
 func (s *Store) SetModel(m *core.Model) {
 	s.modelMu.Lock()
 	s.model = m
+	s.artifact = nil
+	s.modelMu.Unlock()
+}
+
+// ModelArtifact is the store's model as a transferable artifact: the
+// model serialized with core.Model.Save plus a content-derived version.
+// Two nodes holding byte-identical models report the same Version, so a
+// cluster can converge on "every shard serves generation X" by comparing
+// versions alone.
+type ModelArtifact struct {
+	// Version is the hex-encoded truncated SHA-256 of Data — a
+	// content address, not a sequence number, so it survives restarts
+	// and is comparable across nodes with no coordination.
+	Version string
+	// Data is the serialized model (core.Model.Save wire format).
+	Data []byte
+}
+
+// ArtifactVersion computes the content version of a serialized model.
+func ArtifactVersion(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:8])
+}
+
+// ModelArtifact serializes the current model into a versioned artifact.
+// The serialized form is cached until the next SetModel/InstallModel, so
+// repeated exports (a gateway distributing one generation to N peers)
+// pay the encoding cost once. ok is false when no model is trained yet.
+func (s *Store) ModelArtifact() (art ModelArtifact, ok bool, err error) {
+	s.modelMu.Lock()
+	defer s.modelMu.Unlock()
+	if s.model == nil {
+		return ModelArtifact{}, false, nil
+	}
+	if s.artifact == nil {
+		var buf bytes.Buffer
+		if err := s.model.Save(&buf); err != nil {
+			return ModelArtifact{}, false, fmt.Errorf("store: exporting model: %w", err)
+		}
+		s.artifact = &ModelArtifact{
+			Version: ArtifactVersion(buf.Bytes()),
+			Data:    buf.Bytes(),
+		}
+	}
+	return *s.artifact, true, nil
+}
+
+// ModelVersion returns the current model's content version, or "" when
+// no model is trained. It shares the artifact cache with ModelArtifact.
+func (s *Store) ModelVersion() string {
+	art, ok, err := s.ModelArtifact()
+	if err != nil || !ok {
+		return ""
+	}
+	return art.Version
+}
+
+// InstallModel installs a model received from a peer, priming the
+// artifact cache with its already-serialized bytes so re-export (and
+// version reads) skip the encode entirely. data must be the serialized
+// form of m; it is persisted by the next Snapshot.
+func (s *Store) InstallModel(m *core.Model, data []byte) {
+	s.modelMu.Lock()
+	s.model = m
+	s.artifact = &ModelArtifact{Version: ArtifactVersion(data), Data: data}
 	s.modelMu.Unlock()
 }
 

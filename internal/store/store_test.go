@@ -1,6 +1,7 @@
 package store
 
 import (
+	"bytes"
 	"fmt"
 	"reflect"
 	"sort"
@@ -257,5 +258,56 @@ func TestUsersSorted(t *testing.T) {
 	got := s.Users()
 	if !sort.IntsAreSorted(got) || len(got) != 3 {
 		t.Fatalf("Users = %v", got)
+	}
+}
+
+func TestModelArtifactVersioning(t *testing.T) {
+	s := mustOpen(t, Config{})
+	if _, ok, err := s.ModelArtifact(); ok || err != nil {
+		t.Fatalf("artifact on untrained store: ok=%v err=%v", ok, err)
+	}
+	if v := s.ModelVersion(); v != "" {
+		t.Fatalf("version on untrained store: %q", v)
+	}
+	corpus := [][]string{{"a.example", "b.example", "a.example", "b.example", "c.example"}}
+	model, err := core.Train(corpus, core.TrainConfig{Dim: 8, Epochs: 2, MinCount: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetModel(model)
+	art, ok, err := s.ModelArtifact()
+	if !ok || err != nil {
+		t.Fatalf("artifact: ok=%v err=%v", ok, err)
+	}
+	if art.Version == "" || len(art.Data) == 0 {
+		t.Fatalf("empty artifact: %+v", art)
+	}
+	if art.Version != ArtifactVersion(art.Data) {
+		t.Fatal("artifact version does not match its data hash")
+	}
+	// The artifact is a loadable model, and a peer installing it reports
+	// the same version — the cluster convergence invariant.
+	m2, err := core.Load(bytes.NewReader(art.Data))
+	if err != nil {
+		t.Fatalf("artifact does not load: %v", err)
+	}
+	peer := mustOpen(t, Config{})
+	peer.InstallModel(m2, art.Data)
+	if got := peer.ModelVersion(); got != art.Version {
+		t.Fatalf("peer version %q, want %q", got, art.Version)
+	}
+	// Repeated exports serve the cache: same backing array.
+	art2, _, _ := s.ModelArtifact()
+	if &art2.Data[0] != &art.Data[0] {
+		t.Fatal("artifact cache missed on unchanged model")
+	}
+	// A new model invalidates the cache and changes the version.
+	model3, err := core.Train(corpus, core.TrainConfig{Dim: 8, Epochs: 2, MinCount: 1, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetModel(model3)
+	if got := s.ModelVersion(); got == art.Version || got == "" {
+		t.Fatalf("version after retrain %q, want fresh non-empty != %q", got, art.Version)
 	}
 }
