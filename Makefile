@@ -18,7 +18,7 @@ race:
 
 # Fault-injection and crash-recovery tests (see internal/fault) under
 # the race detector: SIGKILL recovery, WAL degradation, retrain
-# coordination.
+# coordination, live cluster-resize migration under traffic.
 chaos:
 	$(GO) test -race -run 'Chaos|Degraded|Retrain|Shed|Panic|Fault' ./...
 

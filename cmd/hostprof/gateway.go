@@ -34,6 +34,9 @@ func cmdGateway(args []string) error {
 	maxBatch := fs.Int("max-batch", 2048, "sessions accepted per /v1/profile/batch")
 	chunk := fs.Int("shard-batch", 256, "sessions per shard chunk in scatter-gather")
 	noSync := fs.Bool("no-model-sync", false, "disable health-loop model anti-entropy (re-shipping the model to shards that diverge)")
+	migChunk := fs.Int("migrate-chunk", 0, "visits per export chunk during live resize (0 = default)")
+	migThrottle := fs.Duration("migrate-throttle", 0, "pause between copy chunks during live resize (0 = full speed)")
+	migWorkers := fs.Int("migrate-workers", 0, "concurrent range copiers during live resize (0 = default)")
 	httpTimeout := fs.Duration("http-timeout", time.Minute, "HTTP read/write timeout (idle timeout is 4x this)")
 	traceSample := fs.Float64("trace-sample", 1, "request-trace head-sampling rate in [0,1]; 0 disables tracing")
 	traceBuffer := fs.Int("trace-buffer", 256, "completed traces retained for /debug/traces")
@@ -75,6 +78,9 @@ func cmdGateway(args []string) error {
 		MaxSessionsPerBatch: *maxBatch,
 		ShardBatchLimit:     *chunk,
 		NoAutoSync:          *noSync,
+		MigrationChunk:      *migChunk,
+		MigrationThrottle:   *migThrottle,
+		MigrationWorkers:    *migWorkers,
 		Metrics:             obs.Default,
 		Tracer:              trc,
 		Logger:              slog.Default(),
@@ -94,7 +100,7 @@ func cmdGateway(args []string) error {
 		slog.Int("backends", st.Backends),
 		slog.Int("alive", st.AliveShards),
 		slog.Int("ready", st.ReadyShards))
-	slog.Info("endpoints: POST /v1/report /v1/profile/batch /v1/feedback /v1/retrain; GET /v1/stats /v1/cluster /metrics /varz /healthz /readyz /debug/traces")
+	slog.Info("endpoints: POST /v1/report /v1/profile/batch /v1/feedback /v1/retrain /v1/cluster/resize; GET /v1/stats /v1/cluster /metrics /varz /healthz /readyz /debug/traces")
 
 	srv := &http.Server{
 		Addr:              *addr,

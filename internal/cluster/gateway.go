@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hostprof/internal/obs"
@@ -50,6 +51,19 @@ type Config struct {
 	// ShardBatchLimit is the largest chunk sent to one shard in one
 	// request (default 256, the backend's MaxSessionsPerBatch default).
 	ShardBatchLimit int
+	// MigrationChunk is the visit-record count per export/import call
+	// while a resize migration copies a user's history (default 4096).
+	MigrationChunk int
+	// MigrationThrottle, when positive, sleeps between migration copy
+	// chunks. Production resizes leave it zero; tests use it to hold
+	// the double-write window open deterministically.
+	MigrationThrottle time.Duration
+	// MigrationWorkers bounds concurrently copying key ranges during a
+	// resize (default 4).
+	MigrationWorkers int
+	// MigrationAttempts bounds freeze→copy→verify rounds per range
+	// before the range is rolled back to its old owner (default 3).
+	MigrationAttempts int
 	// NoAutoSync disables the health loop's model anti-entropy: by
 	// default, when a polled shard serves a different model version
 	// than the designated node (a restarted shard that recovered an
@@ -95,6 +109,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxSessionsPerBatch <= 0 {
 		c.MaxSessionsPerBatch = 2048
 	}
+	if c.MigrationChunk <= 0 {
+		c.MigrationChunk = 4096
+	}
+	if c.MigrationWorkers <= 0 {
+		c.MigrationWorkers = 4
+	}
+	if c.MigrationAttempts <= 0 {
+		c.MigrationAttempts = 3
+	}
 	if c.ShardBatchLimit <= 0 {
 		c.ShardBatchLimit = 256
 	}
@@ -117,8 +140,25 @@ type Gateway struct {
 	ringMu sync.Mutex
 	ring   *Ring
 
+	// migration is the installed resize operation, nil when idle. The
+	// pointer is read lock-free on every routed request; migBarrier
+	// gives installation a drain point: forwarders hold it shared for a
+	// write's duration, so after install takes (and releases) it
+	// exclusively, every in-flight write predating the migration has
+	// finished and all later writes see it. resizeMu serializes
+	// Resize/SetBackends calls against each other.
+	migration  atomic.Pointer[Migration]
+	migBarrier sync.RWMutex
+	resizeMu   sync.Mutex
+
 	mu     sync.Mutex
 	shards map[string]*shardState
+	// backends is the live membership — cfg.Backends at build time,
+	// replaced when a migration completes or SetBackends swaps the
+	// ring. trainNode and model anti-entropy iterate this, not the
+	// frozen config.
+	backends      []string
+	lastMigration *MigrationStatus
 	// modelVersion/modelData cache the last artifact the gateway pulled,
 	// so distribution and anti-entropy re-GET a shard's model only when
 	// the version actually changed (If-None-Match → 304).
@@ -139,6 +179,17 @@ type gatewayMetrics struct {
 	batchPartial *obs.Counter
 	modelPushes  *obs.Counter
 	pushErrors   *obs.Counter
+
+	// migration lifecycle
+	migStarts        *obs.Counter
+	migResumes       *obs.Counter
+	migDone          *obs.Counter
+	migFailed        *obs.Counter
+	migRangesDone    *obs.Counter
+	migRangesAborted *obs.Counter
+	migRecords       *obs.Counter
+	doubleWrites     *obs.Counter
+	doubleWriteErrs  *obs.Counter
 }
 
 func newGatewayMetrics(reg *obs.Registry) gatewayMetrics {
@@ -162,6 +213,16 @@ func newGatewayMetrics(reg *obs.Registry) gatewayMetrics {
 		batchPartial: reg.Counter("hostprof_gateway_batch_partial_total"),
 		modelPushes:  reg.Counter("hostprof_gateway_model_pushes_total", obs.L("outcome", "ok")),
 		pushErrors:   reg.Counter("hostprof_gateway_model_pushes_total", obs.L("outcome", "error")),
+
+		migStarts:        reg.Counter("hostprof_gateway_migrations_total", obs.L("outcome", "started")),
+		migResumes:       reg.Counter("hostprof_gateway_migrations_total", obs.L("outcome", "resumed")),
+		migDone:          reg.Counter("hostprof_gateway_migrations_total", obs.L("outcome", "done")),
+		migFailed:        reg.Counter("hostprof_gateway_migrations_total", obs.L("outcome", "failed")),
+		migRangesDone:    reg.Counter("hostprof_gateway_migration_ranges_total", obs.L("outcome", "done")),
+		migRangesAborted: reg.Counter("hostprof_gateway_migration_ranges_total", obs.L("outcome", "aborted")),
+		migRecords:       reg.Counter("hostprof_gateway_migration_records_total"),
+		doubleWrites:     reg.Counter("hostprof_gateway_migration_double_writes_total", obs.L("outcome", "ok")),
+		doubleWriteErrs:  reg.Counter("hostprof_gateway_migration_double_writes_total", obs.L("outcome", "error")),
 	}
 }
 
@@ -189,20 +250,22 @@ func New(cfg Config) (*Gateway, error) {
 		}}
 	}
 	g := &Gateway{
-		cfg:    cfg,
-		reg:    reg,
-		met:    newGatewayMetrics(reg),
-		tr:     cfg.Tracer,
-		log:    cfg.Logger,
-		client: client,
-		ring:   ring,
-		shards: make(map[string]*shardState, len(cfg.Backends)),
-		stop:   make(chan struct{}),
+		cfg:      cfg,
+		reg:      reg,
+		met:      newGatewayMetrics(reg),
+		tr:       cfg.Tracer,
+		log:      cfg.Logger,
+		client:   client,
+		ring:     ring,
+		shards:   make(map[string]*shardState, len(cfg.Backends)),
+		backends: append([]string(nil), cfg.Backends...),
+		stop:     make(chan struct{}),
 	}
 	for _, b := range cfg.Backends {
 		g.shards[b] = &shardState{name: b}
 		g.wireShardGauges(b)
 	}
+	g.registerMigrationMetrics()
 	return g, nil
 }
 
@@ -216,14 +279,19 @@ func (g *Gateway) Ring() *Ring {
 	return g.ring
 }
 
-// SetBackends rebuilds the ring over a new member set (an operator
-// resize). Users whose owner changes land on their new shard with an
-// empty history — the visit store does not migrate; that is a future
-// axis. Counted in hostprof_gateway_ring_rebalance_total.
+// SetBackends rebuilds the ring over a new member set WITHOUT migrating
+// any data — the raw swap behind a data-free topology change (all-new
+// cluster, test fixtures). A resize that must preserve users' histories
+// goes through Resize instead, which refuses to coexist with this:
+// SetBackends errors while a migration is installed. Counted in
+// hostprof_gateway_ring_rebalance_total.
 func (g *Gateway) SetBackends(backends []string) error {
 	ring, err := NewRing(backends, g.cfg.VirtualNodes)
 	if err != nil {
 		return err
+	}
+	if m := g.migration.Load(); m != nil {
+		return fmt.Errorf("cluster: cannot swap backends while a migration is installed (state %s)", m.Status().State)
 	}
 	g.ringMu.Lock()
 	changed := !g.ring.Equal(backends)
@@ -234,6 +302,7 @@ func (g *Gateway) SetBackends(backends []string) error {
 	}
 	g.met.rebalances.Inc()
 	g.mu.Lock()
+	g.backends = append([]string(nil), backends...)
 	for _, b := range backends {
 		if g.shards[b] == nil {
 			g.shards[b] = &shardState{name: b}
@@ -303,10 +372,11 @@ func (g *Gateway) healthLoop() {
 //	POST /v1/profile/batch  → scatter-gather across ready shards
 //	POST /v1/retrain        → designated shard trains, model distributed
 //	GET  /v1/stats          → aggregated across live shards
-//	GET  /v1/cluster        → ring, shard health, model versions
+//	GET  /v1/cluster        → ring, shard health, model versions, migration
+//	POST /v1/cluster/resize → start/resume/join a keyspace migration
 //	GET  /metrics, /varz    → gateway metrics
 //	GET  /healthz           → gateway liveness
-//	GET  /readyz            → 200 when ≥1 shard is alive
+//	GET  /readyz            → 200 when ≥1 shard is alive ("degraded" mid-migration)
 //	GET  /debug/traces      → gateway half of distributed traces
 func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -316,13 +386,11 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/retrain", g.instrument("retrain", g.handleRetrain))
 	mux.HandleFunc("GET /v1/stats", g.instrument("stats", g.handleStats))
 	mux.HandleFunc("GET /v1/cluster", g.instrument("cluster", g.handleCluster))
+	mux.HandleFunc("POST /v1/cluster/resize", g.instrument("cluster_resize", g.handleResize))
 	mux.Handle("GET /metrics", g.reg.MetricsHandler())
 	mux.Handle("GET /varz", g.reg.VarzHandler())
 	mux.Handle("GET /healthz", obs.HealthzHandler(nil))
-	mux.Handle("GET /readyz", obs.ReadyzHandler(func() (bool, any) {
-		st := g.ClusterStatus()
-		return st.AliveShards > 0, st
-	}))
+	mux.HandleFunc("GET /readyz", g.handleReadyz)
 	if g.tr.Enabled() {
 		mux.Handle("/debug/traces", g.tr.Handler())
 	}

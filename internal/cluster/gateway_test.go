@@ -15,6 +15,7 @@ import (
 	"hostprof/internal/ads"
 	"hostprof/internal/core"
 	"hostprof/internal/obs/tracer"
+	"hostprof/internal/ontology"
 	"hostprof/internal/server"
 	"hostprof/internal/synth"
 )
@@ -50,42 +51,31 @@ type clusterFixture struct {
 	shardTrc []*tracer.Tracer
 	counters []*pathCounter
 	u        *synth.Universe
+	ont      *ontology.Ontology
+	db       *ads.DB
 	pop      *synth.Population
 }
 
 func newClusterFixture(t *testing.T, shards, users int) *clusterFixture {
+	return newClusterFixtureCfg(t, shards, users, nil)
+}
+
+// newClusterFixtureCfg is newClusterFixture with a gateway-config hook
+// (migration tests tune vnode counts and copy throttles).
+func newClusterFixtureCfg(t *testing.T, shards, users int, edit func(*Config)) *clusterFixture {
 	t.Helper()
 	u := synth.NewUniverse(synth.UniverseConfig{Sites: 100, Trackers: 15, Seed: 3})
 	ont := synth.BuildOntology(u, synth.OntologyConfig{Coverage: 0.2, Seed: 5})
 	db := ads.BuildFromOntology(ont, ads.BuildConfig{Seed: 7})
 	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
 
-	fx := &clusterFixture{u: u}
+	fx := &clusterFixture{u: u, ont: ont, db: db}
 	var urls []string
 	for i := 0; i < shards; i++ {
-		trc := tracer.New(tracer.Config{Service: "shard", SampleRate: 1})
-		b, err := server.New(server.Config{
-			Ontology: ont,
-			AdDB:     db,
-			Train:    core.TrainConfig{Dim: 16, Epochs: 4, MinCount: 2, Workers: 1, Seed: 11, Subsample: -1},
-			Profile:  core.ProfilerConfig{N: 30, Agg: core.AggIDF},
-			Tracer:   trc,
-			Logger:   quiet,
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		pc := &pathCounter{hits: make(map[string]int), next: b.Handler()}
-		srv := httptest.NewServer(pc)
-		t.Cleanup(srv.Close)
-		fx.backends = append(fx.backends, b)
-		fx.shardSrv = append(fx.shardSrv, srv)
-		fx.shardTrc = append(fx.shardTrc, trc)
-		fx.counters = append(fx.counters, pc)
-		urls = append(urls, srv.URL)
+		urls = append(urls, fx.addShard(t))
 	}
 
-	gw, err := New(Config{
+	cfg := Config{
 		Backends: urls,
 		// No background loop: tests drive CheckHealth explicitly so
 		// health transitions are deterministic.
@@ -93,7 +83,11 @@ func newClusterFixture(t *testing.T, shards, users int) *clusterFixture {
 		ShardBatchLimit: 8,
 		Tracer:          tracer.New(tracer.Config{Service: "gateway", SampleRate: 1}),
 		Logger:          quiet,
-	})
+	}
+	if edit != nil {
+		edit(&cfg)
+	}
+	gw, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,6 +98,33 @@ func newClusterFixture(t *testing.T, shards, users int) *clusterFixture {
 	t.Cleanup(fx.gwSrv.Close)
 	fx.pop = synth.NewPopulation(u, synth.PopulationConfig{Users: users, Days: 1, Seed: 13})
 	return fx
+}
+
+// addShard brings up one more backend over the fixture's shared world
+// and returns its URL (resize tests grow the cluster with it).
+func (fx *clusterFixture) addShard(t *testing.T) string {
+	t.Helper()
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	trc := tracer.New(tracer.Config{Service: "shard", SampleRate: 1})
+	b, err := server.New(server.Config{
+		Ontology: fx.ont,
+		AdDB:     fx.db,
+		Train:    core.TrainConfig{Dim: 16, Epochs: 4, MinCount: 2, Workers: 1, Seed: 11, Subsample: -1},
+		Profile:  core.ProfilerConfig{N: 30, Agg: core.AggIDF},
+		Tracer:   trc,
+		Logger:   quiet,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := &pathCounter{hits: make(map[string]int), next: b.Handler()}
+	srv := httptest.NewServer(pc)
+	t.Cleanup(srv.Close)
+	fx.backends = append(fx.backends, b)
+	fx.shardSrv = append(fx.shardSrv, srv)
+	fx.shardTrc = append(fx.shardTrc, trc)
+	fx.counters = append(fx.counters, pc)
+	return srv.URL
 }
 
 // feedViaGateway replays the population's browsing through the gateway,

@@ -44,12 +44,13 @@ type ShardStatus struct {
 
 // ClusterStatus is the gateway's /v1/cluster (and /readyz detail) body.
 type ClusterStatus struct {
-	Backends     int           `json:"backends"`
-	AliveShards  int           `json:"alive_shards"`
-	ReadyShards  int           `json:"ready_shards"`
-	ModelVersion string        `json:"model_version,omitempty"` // consensus version, "" when shards disagree or none trained
-	Converged    bool          `json:"converged"`               // every alive shard serves the same non-empty version
-	Shards       []ShardStatus `json:"shards"`
+	Backends     int              `json:"backends"`
+	AliveShards  int              `json:"alive_shards"`
+	ReadyShards  int              `json:"ready_shards"`
+	ModelVersion string           `json:"model_version,omitempty"` // consensus version, "" when shards disagree or none trained
+	Converged    bool             `json:"converged"`               // every alive shard serves the same non-empty version
+	Shards       []ShardStatus    `json:"shards"`
+	Migration    *MigrationStatus `json:"migration,omitempty"` // installed resize, or the last finished one
 }
 
 // wireShardGauges registers the per-backend health gauges. The
@@ -247,13 +248,14 @@ func (g *Gateway) aliveShards() []string {
 }
 
 // trainNode returns the designated training shard: the first alive
-// backend in configured order. Deterministic given the same health
-// view, so concurrent retrains pick the same node; "" when the whole
-// cluster is down.
+// backend in membership order (the live membership, which a completed
+// resize rewrites — not the frozen config). Deterministic given the
+// same health view, so concurrent retrains pick the same node; "" when
+// the whole cluster is down.
 func (g *Gateway) trainNode() string {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	for _, name := range g.cfg.Backends {
+	for _, name := range g.backends {
 		if s := g.shards[name]; s != nil && s.alive {
 			return name
 		}
@@ -297,10 +299,17 @@ func (g *Gateway) ClusterStatus() ClusterStatus {
 			st.ReadyShards++
 		}
 	}
+	last := g.lastMigration
 	g.mu.Unlock()
 	if !mixed && consensus != "" {
 		st.ModelVersion = consensus
 		st.Converged = st.AliveShards > 0
+	}
+	if m := g.migration.Load(); m != nil {
+		ms := m.Status()
+		st.Migration = &ms
+	} else {
+		st.Migration = last
 	}
 	return st
 }

@@ -126,15 +126,64 @@ func relay(w http.ResponseWriter, ans shardAnswer) {
 // routeUser is the single-user forwarding path shared by /v1/report and
 // /v1/feedback: hash the user onto the ring, shed if the owner is down,
 // forward otherwise.
-func (g *Gateway) routeUser(w http.ResponseWriter, r *http.Request, path string, user int, raw []byte) {
+//
+// While a migration is installed the route consults it: a user in a
+// moved range is served by the old owner until the range cuts over, by
+// the new owner after. During the copy window (report != nil — feedback
+// mutates campaign tallies, not the visit store, and is not
+// double-written) an accepted report is additionally imported into the
+// target; the range's write gate is held shared across both round
+// trips, which is what lets the migration freeze the range with no
+// write in flight. A failed target import marks the range dirty — the
+// client's ack stands (the source has the visit), and the migration
+// repairs the target by reset + recopy before it can ever cut over.
+func (g *Gateway) routeUser(w http.ResponseWriter, r *http.Request, path string, user int, raw []byte, report *server.ReportRequest) {
+	g.migBarrier.RLock()
+	defer g.migBarrier.RUnlock()
 	owner, ok := g.Ring().Owner(user)
 	if !ok {
 		writeError(w, http.StatusServiceUnavailable, "cluster: empty ring")
 		return
 	}
+	var doubleTo string
+	var rg *migRange
+	if mig := g.migration.Load(); mig != nil {
+		if mr := mig.rangeFor(userHash(user)); mr != nil {
+			mr.gate.RLock()
+			switch mr.st() {
+			case rangeDone:
+				owner = mr.To
+				mr.gate.RUnlock()
+			case rangeAborted:
+				owner = mr.From
+				mr.gate.RUnlock()
+			default: // pending, copying, draining
+				owner = mr.From
+				if report != nil {
+					// Hold the gate across the write(s). For a pending range
+					// this is what makes the freeze exact: the freeze's
+					// exclusive acquire waits for this report to land, so the
+					// C0 capture counts it. Once the freeze has run the state
+					// reads copying/draining and the write is also mirrored.
+					rg = mr
+					if s := mr.st(); s == rangeCopying || s == rangeDraining {
+						doubleTo = mr.To
+					}
+				} else {
+					mr.gate.RUnlock()
+				}
+			}
+		}
+	}
+	if rg != nil {
+		defer rg.gate.RUnlock()
+	}
 	if sp := tracer.FromContext(r.Context()); sp.Recording() {
 		sp.SetAttr("shard", owner)
 		sp.SetAttr("user", strconv.Itoa(user))
+		if doubleTo != "" {
+			sp.SetAttr("double_write", doubleTo)
+		}
 	}
 	if st := g.shardSnapshot(owner); !st.alive {
 		// The owning shard is down: its keyspace is shed, everyone
@@ -154,7 +203,41 @@ func (g *Gateway) routeUser(w http.ResponseWriter, r *http.Request, path string,
 		writeError(w, http.StatusBadGateway, err.Error())
 		return
 	}
+	if doubleTo != "" && ans.status < 300 {
+		g.doubleWrite(r.Context(), doubleTo, rg, report)
+	}
 	relay(w, ans)
+}
+
+// doubleWrite mirrors an accepted report's visits into the migration
+// target via /v1/import — the raw ingest path, which applies the same
+// blocklist the source's report handler applied and skips profiling, so
+// the target ends up byte-for-byte equivalent without paying for ads it
+// will never serve. Failure marks the range dirty; the source ack is
+// already safe.
+func (g *Gateway) doubleWrite(ctx context.Context, target string, rg *migRange, report *server.ReportRequest) {
+	visits := make([]server.WireVisit, len(report.Hosts))
+	for i, h := range report.Hosts {
+		visits[i] = server.WireVisit{User: report.User, Time: report.Time, Host: h}
+	}
+	body, err := json.Marshal(server.ImportRequest{Visits: visits})
+	if err == nil {
+		var ans shardAnswer
+		ans, err = g.doShard(ctx, http.MethodPost, target, "/v1/import",
+			map[string]string{"Content-Type": "application/json"}, body)
+		if err == nil && ans.status != http.StatusOK {
+			err = fmt.Errorf("cluster: double-write to %s answered HTTP %d", target, ans.status)
+		}
+	}
+	if err != nil {
+		rg.dirty.Store(true)
+		g.met.doubleWriteErrs.Inc()
+		if sp := tracer.FromContext(ctx); sp.Recording() {
+			sp.Event("double-write failed: " + err.Error())
+		}
+		return
+	}
+	g.met.doubleWrites.Inc()
 }
 
 func (g *Gateway) handleReport(w http.ResponseWriter, r *http.Request) {
@@ -168,7 +251,7 @@ func (g *Gateway) handleReport(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "cluster: invalid JSON: "+err.Error())
 		return
 	}
-	g.routeUser(w, r, "/v1/report", req.User, raw)
+	g.routeUser(w, r, "/v1/report", req.User, raw, &req)
 }
 
 func (g *Gateway) handleFeedback(w http.ResponseWriter, r *http.Request) {
@@ -182,7 +265,7 @@ func (g *Gateway) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "cluster: invalid JSON: "+err.Error())
 		return
 	}
-	g.routeUser(w, r, "/v1/feedback", req.User, raw)
+	g.routeUser(w, r, "/v1/feedback", req.User, raw, nil)
 }
 
 // handleProfileBatch scatter-gathers a batch across every ready shard.
@@ -438,7 +521,7 @@ func (g *Gateway) pushModel(ctx context.Context, peer, version string, data []by
 func (g *Gateway) SyncModels(ctx context.Context) int {
 	var source, want string
 	g.mu.Lock()
-	for _, name := range g.cfg.Backends {
+	for _, name := range g.backends {
 		if s := g.shards[name]; s != nil && s.alive && s.modelVersion != "" {
 			source, want = name, s.modelVersion
 			break
@@ -449,7 +532,7 @@ func (g *Gateway) SyncModels(ctx context.Context) int {
 		return 0
 	}
 	var stale []string
-	for _, name := range g.cfg.Backends {
+	for _, name := range g.backends {
 		if s := g.shards[name]; s != nil && s.alive && s.modelVersion != want {
 			stale = append(stale, name)
 		}

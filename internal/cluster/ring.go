@@ -147,6 +147,95 @@ func (r *Ring) Owner(user int) (node string, ok bool) {
 	return r.points[i].node, true
 }
 
+// OwnerOfHash returns the member owning a raw ring position: the first
+// point at or after h, wrapping at the top. ok is false only for an
+// empty ring.
+func (r *Ring) OwnerOfHash(h uint64) (node string, ok bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node, true
+}
+
+// MovedRange is one keyspace arc whose owner differs between two rings:
+// the half-open hash interval (Lo, Hi], owned by From in the old ring
+// and To in the new one. Lo >= Hi means the arc wraps through zero.
+type MovedRange struct {
+	Lo, Hi   uint64
+	From, To string
+}
+
+// Contains reports whether hash h falls inside the arc.
+func (m MovedRange) Contains(h uint64) bool {
+	if m.Lo < m.Hi {
+		return h > m.Lo && h <= m.Hi
+	}
+	return h > m.Lo || h <= m.Hi
+}
+
+// DiffRings computes the keyspace a resize moves: the arcs of the hash
+// circle whose owner under newRing differs from their owner under
+// oldRing, with adjacent same-(From,To) arcs merged. The construction
+// walks the sorted union of both rings' points — between two adjacent
+// union points no point of either ring intervenes, so each ring's owner
+// is constant across the arc and one probe per arc suffices. At most one
+// returned range wraps through zero; together the ranges are disjoint
+// and tile exactly the moved keyspace, so routing can answer "is this
+// user migrating" with one range lookup.
+func DiffRings(oldRing, newRing *Ring) []MovedRange {
+	if oldRing == nil || newRing == nil || len(oldRing.points) == 0 || len(newRing.points) == 0 {
+		return nil
+	}
+	union := make([]uint64, 0, len(oldRing.points)+len(newRing.points))
+	for _, p := range oldRing.points {
+		union = append(union, p.hash)
+	}
+	for _, p := range newRing.points {
+		union = append(union, p.hash)
+	}
+	sort.Slice(union, func(i, j int) bool { return union[i] < union[j] })
+	// Dedup: coincident points produce empty arcs.
+	uniq := union[:0]
+	for i, h := range union {
+		if i == 0 || h != uniq[len(uniq)-1] {
+			uniq = append(uniq, h)
+		}
+	}
+	union = uniq
+
+	var out []MovedRange
+	for i, hi := range union {
+		lo := union[(i+len(union)-1)%len(union)] // wraps for i == 0
+		from, _ := oldRing.OwnerOfHash(hi)
+		to, _ := newRing.OwnerOfHash(hi)
+		if from == to {
+			continue
+		}
+		// Merge with the previous range when the arcs are adjacent and
+		// move between the same pair — but never into a full circle,
+		// which Lo == Hi could not represent unambiguously.
+		if n := len(out); n > 0 && out[n-1].Hi == lo &&
+			out[n-1].From == from && out[n-1].To == to && n > 1 {
+			out[n-1].Hi = hi
+			continue
+		}
+		out = append(out, MovedRange{Lo: lo, Hi: hi, From: from, To: to})
+	}
+	// The wrap arc (built from i == 0) sits first; if the last range is
+	// adjacent to it across zero and moves between the same pair, merge
+	// them so the tiling has no artificial seam at the origin.
+	if n := len(out); n > 2 && out[n-1].Hi == out[0].Lo &&
+		out[n-1].From == out[0].From && out[n-1].To == out[0].To {
+		out[n-1].Hi = out[0].Hi
+		out = out[1:]
+	}
+	return out
+}
+
 // Nodes returns the sorted member set.
 func (r *Ring) Nodes() []string {
 	return append([]string(nil), r.nodes...)

@@ -135,3 +135,183 @@ func BenchmarkRingOwner(b *testing.B) {
 		}
 	}
 }
+
+// TestRingMinimalMovementAcrossVnodeCounts: the consistent-hashing
+// contract must hold at every vnode granularity a deployment might pick,
+// not just the default — growing a cluster moves keys only TO the new
+// node, shrinking moves only the removed node's keys, at vnodes 1, 8
+// and 64.
+func TestRingMinimalMovementAcrossVnodeCounts(t *testing.T) {
+	const users = 20_000
+	three := []string{"http://s1", "http://s2", "http://s3"}
+	four := append([]string{"http://s4"}, three...)
+	for _, vn := range []int{1, 8, 64} {
+		r3, err := NewRing(three, vn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r4, err := NewRing(four, vn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grew := 0
+		for u := 0; u < users; u++ {
+			before, _ := r3.Owner(u)
+			after, _ := r4.Owner(u)
+			if after != before {
+				if after != "http://s4" {
+					t.Fatalf("vnodes=%d: user %d moved %s → %s, not to the joiner", vn, u, before, after)
+				}
+				grew++
+			}
+		}
+		if grew == 0 {
+			t.Fatalf("vnodes=%d: joiner received no keys", vn)
+		}
+		// Upper bound loosens with coarser rings: a single vnode per
+		// member makes arc sizes very uneven, but even then the joiner
+		// must not swallow a majority of the keyspace.
+		if frac := float64(grew) / users; frac > 0.60 {
+			t.Fatalf("vnodes=%d: grow moved %.1f%% of keys; want ~25%%", vn, frac*100)
+		}
+		shrunk := 0
+		for u := 0; u < users; u++ {
+			before, _ := r4.Owner(u)
+			after, _ := r3.Owner(u)
+			if before == "http://s4" {
+				shrunk++
+				continue
+			}
+			if after != before {
+				t.Fatalf("vnodes=%d: user %d moved %s → %s although its owner survived the shrink", vn, u, before, after)
+			}
+		}
+		if shrunk != grew {
+			t.Fatalf("vnodes=%d: shrink moved %d keys, grow moved %d — not inverses", vn, shrunk, grew)
+		}
+	}
+}
+
+// TestDiffRingsTilesMovedKeyspace: DiffRings must agree exactly with
+// brute-force owner comparison — a user's owner changed if and only if
+// its hash falls in exactly one returned range, and that range's
+// From/To name the old and new owners. Checked across vnode
+// granularities and for both grow and shrink.
+func TestDiffRingsTilesMovedKeyspace(t *testing.T) {
+	const users = 20_000
+	three := []string{"http://s1", "http://s2", "http://s3"}
+	four := append([]string{"http://s4"}, three...)
+	for _, vn := range []int{1, 8, 64} {
+		for _, dir := range []struct {
+			name     string
+			old, new []string
+		}{
+			{"grow", three, four},
+			{"shrink", four, three},
+		} {
+			oldRing, err := NewRing(dir.old, vn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			newRing, err := NewRing(dir.new, vn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			moved := DiffRings(oldRing, newRing)
+			if len(moved) == 0 {
+				t.Fatalf("vnodes=%d %s: no moved ranges for a membership change", vn, dir.name)
+			}
+			wraps := 0
+			for _, r := range moved {
+				if r.Lo >= r.Hi {
+					wraps++
+				}
+				if r.From == r.To {
+					t.Fatalf("vnodes=%d %s: range (%x,%x] moves %s to itself", vn, dir.name, r.Lo, r.Hi, r.From)
+				}
+			}
+			if wraps > 1 {
+				t.Fatalf("vnodes=%d %s: %d wrapping ranges, want at most 1", vn, dir.name, wraps)
+			}
+			for u := 0; u < users; u++ {
+				h := userHash(u)
+				before, _ := oldRing.Owner(u)
+				after, _ := newRing.Owner(u)
+				var hits []MovedRange
+				for _, r := range moved {
+					if r.Contains(h) {
+						hits = append(hits, r)
+					}
+				}
+				if len(hits) > 1 {
+					t.Fatalf("vnodes=%d %s: user %d in %d ranges; ranges overlap", vn, dir.name, u, len(hits))
+				}
+				if (before != after) != (len(hits) == 1) {
+					t.Fatalf("vnodes=%d %s: user %d moved=%v but diff covers=%v",
+						vn, dir.name, u, before != after, len(hits) == 1)
+				}
+				if len(hits) == 1 && (hits[0].From != before || hits[0].To != after) {
+					t.Fatalf("vnodes=%d %s: user %d range says %s→%s, owners say %s→%s",
+						vn, dir.name, u, hits[0].From, hits[0].To, before, after)
+				}
+			}
+		}
+	}
+}
+
+// TestDiffRingsNoChange: identical membership diffs to nothing, and
+// degenerate inputs answer nil instead of panicking.
+func TestDiffRingsNoChange(t *testing.T) {
+	nodes := []string{"http://s1", "http://s2"}
+	a, err := NewRing(nodes, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"http://s2", "http://s1"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved := DiffRings(a, b); len(moved) != 0 {
+		t.Fatalf("identical membership produced %d moved ranges", len(moved))
+	}
+	empty, err := NewRing(nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved := DiffRings(a, empty); moved != nil {
+		t.Fatalf("diff against an empty ring produced %v", moved)
+	}
+	if moved := DiffRings(nil, a); moved != nil {
+		t.Fatalf("diff against a nil ring produced %v", moved)
+	}
+}
+
+// TestDiffRingsSingleNodeSwap: replacing the only member moves the whole
+// circle; the diff must still avoid the ambiguous Lo == Hi full-circle
+// range.
+func TestDiffRingsSingleNodeSwap(t *testing.T) {
+	a, err := NewRing([]string{"http://old"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"http://new"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := DiffRings(a, b)
+	if len(moved) < 2 {
+		t.Fatalf("full-circle move produced %d ranges, want >= 2 (Lo == Hi is ambiguous)", len(moved))
+	}
+	for u := 0; u < 5_000; u++ {
+		h := userHash(u)
+		hits := 0
+		for _, r := range moved {
+			if r.Contains(h) {
+				hits++
+			}
+		}
+		if hits != 1 {
+			t.Fatalf("user %d covered by %d ranges of a full-circle move, want exactly 1", u, hits)
+		}
+	}
+}

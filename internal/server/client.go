@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"strconv"
 	"strings"
@@ -148,9 +149,14 @@ func (e *Extension) postOnce(ctx context.Context, span *tracer.Span, path string
 
 // RetryDelay computes how long to wait before retry number attempt
 // (0-based): the server's Retry-After when it parses to a positive
-// duration, exponential backoff from base otherwise — both capped at
-// max, so neither a hostile header nor deep backoff can stall a caller.
-// Shared by the Extension client and the cluster gateway's shard
+// duration, jittered exponential backoff from base otherwise — both
+// capped at max, so neither a hostile header nor deep backoff can stall
+// a caller. The exponential path uses equal jitter — uniform in
+// [d/2, d] where d = base<<attempt — so a population of clients shed at
+// the same instant (one overloaded shard refusing a burst) does not
+// retry in lockstep and re-create the burst; a server-scheduled
+// Retry-After is honored exactly, since the server already chose the
+// time. Shared by the Extension client and the cluster gateway's shard
 // retries.
 func RetryDelay(retryAfter string, attempt int, base, max time.Duration) time.Duration {
 	if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs > 0 {
@@ -162,9 +168,10 @@ func RetryDelay(retryAfter string, attempt int, base, max time.Duration) time.Du
 	}
 	d := base << attempt
 	if d > max || d <= 0 { // <<-overflow guard
-		return max
+		d = max
 	}
-	return d
+	half := d / 2
+	return half + rand.N(d-half+1)
 }
 
 // APIError is a non-2xx backend answer.

@@ -107,28 +107,53 @@ func TestClientRetryHonorsContext(t *testing.T) {
 	}
 }
 
-// TestRetryDelay pins the backoff schedule: server-scheduled waits win
-// but are capped; otherwise the wait doubles from base up to max.
+// TestRetryDelay pins the backoff schedule: server-scheduled waits are
+// honored exactly but capped; otherwise the wait is equal-jittered
+// exponential — uniform in [d/2, d] for d = base<<attempt, never above
+// max.
 func TestRetryDelay(t *testing.T) {
 	base, max := 100*time.Millisecond, 2*time.Second
-	cases := []struct {
+	exact := []struct {
 		retryAfter string
 		attempt    int
 		want       time.Duration
 	}{
-		{"", 0, 100 * time.Millisecond},
-		{"", 1, 200 * time.Millisecond},
-		{"", 4, 1600 * time.Millisecond},
-		{"", 5, 2 * time.Second},  // capped
-		{"", 63, 2 * time.Second}, // shift overflow guarded
 		{"1", 0, time.Second},
 		{"60", 0, 2 * time.Second}, // server ask capped
-		{"0", 2, 400 * time.Millisecond},
-		{"soon", 0, 100 * time.Millisecond}, // unparseable → backoff
 	}
-	for _, c := range cases {
+	for _, c := range exact {
 		if got := RetryDelay(c.retryAfter, c.attempt, base, max); got != c.want {
 			t.Errorf("RetryDelay(%q, %d) = %s, want %s", c.retryAfter, c.attempt, got, c.want)
 		}
+	}
+	jittered := []struct {
+		retryAfter string
+		attempt    int
+		lo, hi     time.Duration
+	}{
+		{"", 0, 50 * time.Millisecond, 100 * time.Millisecond},
+		{"", 1, 100 * time.Millisecond, 200 * time.Millisecond},
+		{"", 4, 800 * time.Millisecond, 1600 * time.Millisecond},
+		{"", 5, time.Second, 2 * time.Second},  // capped at max before jitter
+		{"", 63, time.Second, 2 * time.Second}, // shift overflow guarded
+		{"0", 2, 200 * time.Millisecond, 400 * time.Millisecond},
+		{"soon", 0, 50 * time.Millisecond, 100 * time.Millisecond}, // unparseable → backoff
+	}
+	for _, c := range jittered {
+		for i := 0; i < 50; i++ {
+			got := RetryDelay(c.retryAfter, c.attempt, base, max)
+			if got < c.lo || got > c.hi {
+				t.Fatalf("RetryDelay(%q, %d) = %s, want in [%s, %s]", c.retryAfter, c.attempt, got, c.lo, c.hi)
+			}
+		}
+	}
+	// The jitter must actually vary — a constant answer means the random
+	// draw was dropped somewhere.
+	seen := make(map[time.Duration]bool)
+	for i := 0; i < 200; i++ {
+		seen[RetryDelay("", 4, base, max)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("200 draws of RetryDelay produced %d distinct value(s); jitter is not applied", len(seen))
 	}
 }

@@ -741,6 +741,10 @@ type FeedbackRequest struct {
 //	POST /v1/retrain    (empty)        → 204 (?async=1 → 202)
 //	GET  /v1/model      → serialized model (ETag/If-None-Match version negotiation)
 //	PUT  /v1/model      → install a model artifact (204 + version header)
+//	GET  /v1/export         → chunked visit export (?users=&from=&limit=)
+//	GET  /v1/export/users   → distinct stored user IDs
+//	GET  /v1/export/digest  → per-user migration digests (?users=)
+//	POST /v1/import     → load migrated visits (reset + append)
 //	GET  /v1/stats      → Stats
 //	GET  /metrics       → Prometheus text exposition
 //	GET  /varz          → JSON metrics snapshot
@@ -766,6 +770,10 @@ func (b *Backend) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/model", b.instrument("model_get", b.handleModelGet))
 	mux.HandleFunc("HEAD /v1/model", b.handleModelGet)
 	mux.HandleFunc("PUT /v1/model", b.instrument("model_put", b.faulty("model_put", b.handleModelPut)))
+	mux.HandleFunc("GET /v1/export", b.instrument("export", b.handleExport))
+	mux.HandleFunc("GET /v1/export/users", b.instrument("export_users", b.handleExportUsers))
+	mux.HandleFunc("GET /v1/export/digest", b.instrument("export_digest", b.handleExportDigest))
+	mux.HandleFunc("POST /v1/import", b.instrument("import", b.faulty("import", b.handleImport)))
 	mux.Handle("GET /metrics", b.reg.MetricsHandler())
 	mux.Handle("GET /varz", b.reg.VarzHandler())
 	// Liveness and readiness are deliberately split: /healthz answers

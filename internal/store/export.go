@@ -1,0 +1,114 @@
+package store
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+
+	"hostprof/internal/trace"
+)
+
+// This file is the store's keyspace-migration surface: chunked per-user
+// reads with stable offsets, an order-insensitive content digest, and
+// user removal. Together they let a gateway stream one user's history to
+// another shard, verify the copy without requiring identical arrival
+// order, and retire the source copy once routing has cut over.
+
+// UserVisits returns up to limit of the user's visits starting at offset
+// from within the user's stored subsequence, plus the subsequence's
+// current total length. Offsets are stable: a user's visits live in one
+// shard and are only ever appended (DropUsers removes whole users, never
+// a prefix), so visits[0:from] never changes between calls — the
+// property that makes an export watermark resumable across chunks and
+// across exporter restarts. limit <= 0 means no limit.
+func (s *Store) UserVisits(user int, from, limit int) ([]trace.Visit, int) {
+	if from < 0 {
+		from = 0
+	}
+	sh := &s.shards[s.shardOf(user)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	total := 0
+	var out []trace.Visit
+	for _, v := range sh.visits {
+		if v.User != user {
+			continue
+		}
+		if total >= from && (limit <= 0 || len(out) < limit) {
+			out = append(out, v)
+		}
+		total++
+	}
+	return out, total
+}
+
+// UserDigest summarizes one user's stored history as a record count and
+// an order-insensitive multiset digest (the sum of each visit's content
+// hash). Two stores hold identical histories for the user iff both
+// values match — regardless of arrival order, which differs between a
+// store fed by live traffic and one fed by a migration copy interleaved
+// with double-writes.
+func (s *Store) UserDigest(user int) (count int, sum uint64) {
+	sh := &s.shards[s.shardOf(user)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, v := range sh.visits {
+		if v.User != user {
+			continue
+		}
+		count++
+		sum += VisitHash(v)
+	}
+	return count, sum
+}
+
+// DropUsers removes every visit belonging to the given users, returning
+// the number of visits removed. The removal is memory-only — the WAL
+// holds no tombstones — so callers that need the drop to survive a crash
+// must Snapshot afterwards; until then a replay resurrects the dropped
+// records. The migration protocol tolerates that: a resurrected target
+// fails the pre-cutover digest handshake and is simply reset and
+// recopied.
+func (s *Store) DropUsers(users []int) int {
+	if len(users) == 0 {
+		return 0
+	}
+	drop := make(map[int]bool, len(users))
+	for _, u := range users {
+		drop[u] = true
+	}
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	removed := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		kept := sh.visits[:0]
+		for _, v := range sh.visits {
+			if drop[v.User] {
+				removed++
+				continue
+			}
+			kept = append(kept, v)
+		}
+		sh.visits = kept
+		sh.mu.Unlock()
+	}
+	return removed
+}
+
+// VisitHash is the content hash behind UserDigest: FNV-1a over the
+// visit's time and hostname, finalized with a multiply-xorshift mixer so
+// near-identical visits (same host, adjacent timestamps) contribute
+// uncorrelated terms to the digest sum. The user ID is deliberately
+// excluded — digests are always compared per user.
+func VisitHash(v trace.Visit) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v.Time))
+	h.Write(buf[:])
+	h.Write([]byte(v.Host))
+	x := h.Sum64()
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
