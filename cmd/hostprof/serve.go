@@ -10,6 +10,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -48,6 +49,7 @@ func cmdServe(args []string) error {
 	httpTimeout := fs.Duration("http-timeout", time.Minute, "HTTP read/write timeout (idle timeout is 4x this)")
 	traceSample := fs.Float64("trace-sample", 1, "request-trace head-sampling rate in [0,1]; errored traces are always kept; 0 disables tracing")
 	traceBuffer := fs.Int("trace-buffer", 256, "completed traces retained for /debug/traces")
+	tracePush := fs.String("trace-push", "", "gateway base URL to push completed traces to (e.g. http://127.0.0.1:8410), assembling whole-cluster traces at the gateway's /debug/traces; empty disables")
 	slowReq := fs.Duration("slow-request", time.Second, "log one structured warning per request slower than this, capture a goroutine+mutex profile tagged with its trace ID (negative disables)")
 	profInterval := fs.Duration("prof-interval", time.Minute, "continuous-profiling cadence: each cycle captures cpu/heap/mutex/block/goroutine into the /debug/prof/ ring (0 keeps only slow-request trigger captures)")
 	mutexFrac := fs.Int("mutex-profile-fraction", 5, "sample 1/n of mutex contention events (runtime.SetMutexProfileFraction; 0 disables)")
@@ -68,12 +70,32 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	trc := tracer.New(tracer.Config{
+	// Cross-process trace completion: with -trace-push, every kept
+	// trace's spans are queued to the gateway's POST /debug/traces
+	// collector (batched, bounded, drop-on-backpressure), so one
+	// Perfetto export at the gateway shows a report crossing the wire.
+	var pusher *tracer.Pusher
+	if *tracePush != "" {
+		url := strings.TrimSuffix(strings.TrimSpace(*tracePush), "/")
+		if !strings.Contains(url, "://") {
+			url = "http://" + url
+		}
+		pusher = tracer.NewPusher(tracer.PushConfig{
+			URL:     url + "/debug/traces",
+			Metrics: obs.Default,
+		})
+		defer pusher.Close()
+	}
+	trcCfg := tracer.Config{
 		Service:      "hostprof-serve",
 		SampleRate:   *traceSample,
 		BufferTraces: *traceBuffer,
 		Metrics:      obs.Default,
-	})
+	}
+	if pusher != nil {
+		trcCfg.Sink = pusher.Offer
+	}
+	trc := tracer.New(trcCfg)
 
 	// The continuous profiler is always on: it owns the mutex/block
 	// sampling rates and the /debug/prof/ capture ring, and backs the

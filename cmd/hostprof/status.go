@@ -1,0 +1,321 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"hostprof/internal/cluster"
+	"hostprof/internal/obs"
+)
+
+// cmdStatus renders a one-page operator dashboard for a running
+// gateway: cluster membership and health (/v1/cluster), the federated
+// metrics view (/v1/cluster/metrics), the gateway's own SLO gauges
+// (/varz) and the newest timeline events (/v1/cluster/events). With
+// -watch it refreshes in place until interrupted.
+func cmdStatus(args []string) error {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8410", "gateway base URL")
+	watch := fs.Duration("watch", 0, "refresh cadence (0 renders once and exits)")
+	events := fs.Int("events", 12, "timeline events shown")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-request deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	base := strings.TrimSuffix(strings.TrimSpace(*addr), "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	client := &http.Client{}
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	for {
+		page, err := renderStatus(ctx, client, base, *events, *timeout)
+		if err != nil {
+			return err
+		}
+		if *watch > 0 {
+			// Home + clear so the page repaints in place.
+			fmt.Print("\033[H\033[2J")
+		}
+		fmt.Print(page)
+		if *watch <= 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(*watch):
+		}
+	}
+}
+
+// statusGet fetches one gateway endpoint into out.
+func statusGet(ctx context.Context, client *http.Client, url string, timeout time.Duration, out any) error {
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: HTTP %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(io.LimitReader(resp.Body, 32<<20)).Decode(out)
+}
+
+// renderStatus assembles the dashboard text. /v1/cluster is required;
+// the other panes degrade to a notice when their fetch fails, so a
+// half-up cluster still renders.
+func renderStatus(ctx context.Context, client *http.Client, base string, eventCount int, timeout time.Duration) (string, error) {
+	var st cluster.ClusterStatus
+	if err := statusGet(ctx, client, base+"/v1/cluster", timeout, &st); err != nil {
+		return "", fmt.Errorf("gateway unreachable: %w", err)
+	}
+	var cm cluster.ClusterMetrics
+	cmErr := statusGet(ctx, client, base+"/v1/cluster/metrics", timeout, &cm)
+	var ev struct {
+		Events []cluster.Event `json:"events"`
+		LastID int64           `json:"last_id"`
+	}
+	evErr := statusGet(ctx, client, base+"/v1/cluster/events", timeout, &ev)
+	var varz []obs.MetricSnapshot
+	varzErr := statusGet(ctx, client, base+"/varz", timeout, &varz)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "hostprof cluster · %s · %s\n\n", base, time.Now().Format("2006-01-02 15:04:05"))
+
+	conv := "mixed model versions"
+	if st.Converged {
+		conv = "converged @ " + shortVersion(st.ModelVersion)
+	}
+	fmt.Fprintf(&b, "backends %d · alive %d · ready %d · %s\n",
+		st.Backends, st.AliveShards, st.ReadyShards, conv)
+	if m := st.Migration; m != nil {
+		fmt.Fprintf(&b, "migration: %s · ranges %d/%d done (%d aborted) · %d records copied\n",
+			m.State, m.RangesDone, m.Ranges, m.RangesAborted, m.RecordsCopied)
+	}
+
+	// Shard table, joined with the federation scrape ledger.
+	scrape := map[string]cluster.ShardScrapeStatus{}
+	for _, s := range cm.Shards {
+		scrape[s.Backend] = s
+	}
+	fmt.Fprintf(&b, "\n%-34s %-8s %-14s %9s  %s\n", "SHARD", "STATE", "MODEL", "VISITS", "SCRAPE")
+	for _, sh := range st.Shards {
+		state := "down"
+		switch {
+		case sh.Ready && sh.Degraded:
+			state = "degraded"
+		case sh.Ready:
+			state = "ready"
+		case sh.Alive:
+			state = "alive"
+		}
+		sc := "-"
+		if s, ok := scrape[sh.Backend]; ok {
+			sc = s.Status
+			if s.Status != "missing" {
+				sc = fmt.Sprintf("%s (%.1fs, %d series)", s.Status, s.AgeSeconds, s.Series)
+			}
+		}
+		fmt.Fprintf(&b, "%-34s %-8s %-14s %9d  %s\n",
+			sh.Backend, state, shortVersion(sh.ModelVersion), sh.Visits, sc)
+	}
+
+	// Cluster totals from the merged (summed) counters.
+	if cmErr != nil {
+		fmt.Fprintf(&b, "\nfederated metrics unavailable: %v\n", cmErr)
+	} else {
+		totals := counterTotals(cm.Metrics, "hostprof_http_requests_total")
+		if len(totals) > 0 {
+			fmt.Fprintf(&b, "\ncluster requests (all shards): %s\n", totals)
+		}
+		if burns := shardBurnRates(cm.Metrics); burns != "" {
+			fmt.Fprintf(&b, "shard SLO burn rates: %s\n", burns)
+		}
+	}
+
+	// Gateway-side SLOs from its own gauges.
+	if varzErr == nil {
+		if line := gatewaySLOLine(varz); line != "" {
+			fmt.Fprintf(&b, "gateway SLOs: %s\n", line)
+		}
+	}
+
+	if evErr != nil {
+		fmt.Fprintf(&b, "\nevents unavailable: %v\n", evErr)
+	} else {
+		fmt.Fprintf(&b, "\nEVENTS (newest last, cursor %d)\n", ev.LastID)
+		evs := ev.Events
+		if len(evs) > eventCount {
+			evs = evs[len(evs)-eventCount:]
+		}
+		if len(evs) == 0 {
+			fmt.Fprintln(&b, "  (none)")
+		}
+		for _, e := range evs {
+			ts := time.Unix(0, e.UnixNano).Format("15:04:05")
+			shard := e.Shard
+			if shard == "" {
+				shard = "-"
+			}
+			fmt.Fprintf(&b, "  %s  %-16s %-34s %s%s\n", ts, e.Type, shard, e.Msg, formatEventAttrs(e.Attrs))
+		}
+	}
+	return b.String(), nil
+}
+
+func shortVersion(v string) string {
+	if v == "" {
+		return "-"
+	}
+	if len(v) > 12 {
+		return v[:12]
+	}
+	return v
+}
+
+// counterTotals sums a merged counter family by its endpoint label,
+// rendering "report=123 profile_batch=4".
+func counterTotals(ms []obs.MetricSnapshot, family string) string {
+	sums := map[string]float64{}
+	for _, m := range ms {
+		if m.Name != family || m.Kind != "counter" {
+			continue
+		}
+		key := m.Labels["endpoint"]
+		if key == "" {
+			key = "total"
+		}
+		sums[key] += m.Value
+	}
+	if len(sums) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(sums))
+	for k := range sums {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%.0f", k, sums[k]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// shardBurnRates renders the per-shard hostprof_slo_burn_rate gauges
+// from the merged view: "shardA report=0.0; shardB report=2.1".
+func shardBurnRates(ms []obs.MetricSnapshot) string {
+	type key struct{ shard, endpoint string }
+	rates := map[key]float64{}
+	for _, m := range ms {
+		if m.Name != "hostprof_slo_burn_rate" {
+			continue
+		}
+		rates[key{m.Labels["shard"], m.Labels["endpoint"]}] = m.Value
+	}
+	if len(rates) == 0 {
+		return ""
+	}
+	keys := make([]key, 0, len(rates))
+	for k := range rates {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].shard != keys[j].shard {
+			return keys[i].shard < keys[j].shard
+		}
+		return keys[i].endpoint < keys[j].endpoint
+	})
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s %s=%.2f", k.shard, k.endpoint, rates[k]))
+	}
+	return strings.Join(parts, "; ")
+}
+
+// gatewaySLOLine renders the gateway's own hostprof_gateway_slo_*
+// gauges: "report p99=12ms burn=0.00 (n=42)".
+func gatewaySLOLine(varz []obs.MetricSnapshot) string {
+	type slo struct {
+		p99, burn, n float64
+	}
+	slos := map[string]*slo{}
+	get := func(endpoint string) *slo {
+		s, ok := slos[endpoint]
+		if !ok {
+			s = &slo{}
+			slos[endpoint] = s
+		}
+		return s
+	}
+	for _, m := range varz {
+		ep := m.Labels["endpoint"]
+		switch m.Name {
+		case "hostprof_gateway_slo_burn_rate":
+			get(ep).burn = m.Value
+		case "hostprof_gateway_slo_window_requests":
+			get(ep).n = m.Value
+		case "hostprof_gateway_slo_latency_seconds":
+			if m.Labels["quantile"] == "0.99" {
+				get(ep).p99 = m.Value
+			}
+		}
+	}
+	if len(slos) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(slos))
+	for k := range slos {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		s := slos[k]
+		parts = append(parts, fmt.Sprintf("%s p99=%s burn=%.2f (n=%.0f)",
+			k, time.Duration(s.p99*float64(time.Second)).Round(time.Millisecond), s.burn, s.n))
+	}
+	return strings.Join(parts, "; ")
+}
+
+func formatEventAttrs(attrs map[string]string) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(" [")
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(attrs[k])
+	}
+	b.WriteByte(']')
+	return b.String()
+}

@@ -157,6 +157,7 @@ func TestChaosGatewayShardKillAndRecovery(t *testing.T) {
 		HealthInterval:  -1, // tests drive probes explicitly
 		ShardTimeout:    3 * time.Second,
 		ShardBatchLimit: 8,
+		FederationTTL:   time.Millisecond, // every scrape below sees live state
 		Logger:          quiet,
 	})
 	if err != nil {
@@ -213,6 +214,21 @@ func TestChaosGatewayShardKillAndRecovery(t *testing.T) {
 	if st := gw.ClusterStatus(); !st.Converged || st.ModelVersion != trained.Version {
 		t.Fatalf("cluster not converged after retrain: %+v", st)
 	}
+
+	// Prime the federated view while all three shards answer, so the
+	// victim has a last-good snapshot to degrade to after the kill.
+	var cmBefore ClusterMetrics
+	getJSON(t, gwSrv+"/v1/cluster/metrics", &cmBefore)
+	for _, s := range cmBefore.Shards {
+		if s.Status != "ok" {
+			t.Fatalf("pre-kill federation not healthy: %+v", cmBefore.Shards)
+		}
+	}
+	var evBefore struct {
+		Events []Event `json:"events"`
+		LastID int64   `json:"last_id"`
+	}
+	getJSON(t, gwSrv+"/v1/cluster/events", &evBefore)
 
 	// Hammer the gateway from 4 workers while the kill lands. Users on
 	// surviving shards must never see a failure; users on the victim
@@ -274,6 +290,46 @@ func TestChaosGatewayShardKillAndRecovery(t *testing.T) {
 	waitAlive(2)
 	if st := gw.ClusterStatus(); st.AliveShards != 2 {
 		t.Fatalf("alive = %d after SIGKILL, want 2", st.AliveShards)
+	}
+
+	// Mid-outage observability: federation degrades the victim to its
+	// last-good (stale) snapshot while the survivors scrape ok, and the
+	// timeline records the liveness flap with a timestamp.
+	var cmDuring ClusterMetrics
+	getJSON(t, gwSrv+"/v1/cluster/metrics", &cmDuring)
+	okShards := 0
+	for _, s := range cmDuring.Shards {
+		switch {
+		case s.Backend == victim:
+			if s.Status != "stale" || s.Error == "" {
+				t.Fatalf("killed shard scraped as %q (err %q), want stale with error", s.Status, s.Error)
+			}
+		case s.Status == "ok":
+			okShards++
+		}
+	}
+	if okShards != 2 {
+		t.Fatalf("federation sees %d healthy shards mid-outage, want 2: %+v", okShards, cmDuring.Shards)
+	}
+	if len(cmDuring.Metrics) == 0 {
+		t.Fatal("federated view emptied out mid-outage")
+	}
+	var evDuring struct {
+		Events []Event `json:"events"`
+		LastID int64   `json:"last_id"`
+	}
+	getJSON(t, gwSrv+"/v1/cluster/events?since="+itoa(evBefore.LastID), &evDuring)
+	sawDown := false
+	for _, e := range evDuring.Events {
+		if e.Type == EventShardDown && e.Shard == victim {
+			if e.UnixNano <= 0 {
+				t.Fatalf("shard_down event missing its timestamp: %+v", e)
+			}
+			sawDown = true
+		}
+	}
+	if !sawDown {
+		t.Fatalf("timeline recorded no shard_down for %s during the outage: %+v", victim, evDuring.Events)
 	}
 	var batch server.ProfileBatchResponse
 	sessions := make([][]string, 24)

@@ -8,11 +8,13 @@ import (
 	"log/slog"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"hostprof/internal/obs"
+	"hostprof/internal/obs/prof"
 	"hostprof/internal/obs/tracer"
 )
 
@@ -70,6 +72,28 @@ type Config struct {
 	// old generation, a node that missed a distribution), the gateway
 	// re-ships the artifact.
 	NoAutoSync bool
+	// SLOTargets maps endpoint names ("report", "profile_batch") to
+	// latency SLO targets, exported as hostprof_gateway_slo_* gauges
+	// over a sliding window (SLOWindow). Empty disables gateway SLOs —
+	// the per-request cost collapses to a nil check.
+	SLOTargets map[string]time.Duration
+	// SLOWindow is the SLO sliding window (default 5 minutes).
+	SLOWindow time.Duration
+	// SlowRequest, when positive, logs one structured warning per
+	// gateway request slower than this, records it on /debug/statusz,
+	// and (with a Profiler) captures goroutine+mutex profiles tagged
+	// with the request's trace ID.
+	SlowRequest time.Duration
+	// Profiler, when non-nil, backs slow-request trigger captures and
+	// mounts /debug/prof/ on the gateway.
+	Profiler *prof.Profiler
+	// EventBuffer is the cluster timeline capacity (default 512
+	// events).
+	EventBuffer int
+	// FederationTTL bounds how stale the cached shard /varz scrapes
+	// behind /v1/cluster/metrics may get before a read re-scrapes
+	// (default 2s).
+	FederationTTL time.Duration
 	// Metrics, when non-nil, is the registry the gateway exports into
 	// (hostprof_gateway_* names). Nil creates a private registry.
 	Metrics *obs.Registry
@@ -121,6 +145,12 @@ func (c Config) withDefaults() Config {
 	if c.ShardBatchLimit <= 0 {
 		c.ShardBatchLimit = 256
 	}
+	if c.EventBuffer <= 0 {
+		c.EventBuffer = 512
+	}
+	if c.FederationTTL <= 0 {
+		c.FederationTTL = 2 * time.Second
+	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
@@ -136,6 +166,16 @@ type Gateway struct {
 	tr     *tracer.Tracer
 	log    *slog.Logger
 	client *http.Client
+
+	// observability plane: the cluster event timeline, the federated
+	// shard-metrics cache, the gateway's own SLOs / slow-request log /
+	// statusz page, and the slow-capture profiler.
+	events  *eventLog
+	fed     *federator
+	slos    *prof.SLOTracker
+	slowlog *prof.SlowLog
+	profz   *prof.Profiler
+	statusz *prof.Statusz
 
 	ringMu sync.Mutex
 	ring   *Ring
@@ -206,6 +246,8 @@ func newGatewayMetrics(reg *obs.Registry) gatewayMetrics {
 	reg.Describe("hostprof_gateway_ring_rebalance_total", "ring rebuilds from membership changes")
 	reg.Describe("hostprof_gateway_batch_partial_total", "scatter-gather batches answered with partial results")
 	reg.Describe("hostprof_gateway_model_pushes_total", "model artifacts pushed to shards")
+	reg.Describe("hostprof_gateway_events_total", "cluster timeline events recorded, by type")
+	reg.Describe("hostprof_gateway_worst_shard_burn_rate", "largest hostprof_slo_burn_rate any shard reported in the cached federation view")
 	return gatewayMetrics{
 		shed:         reg.Counter("hostprof_gateway_shed_total"),
 		retries:      reg.Counter("hostprof_gateway_retries_total"),
@@ -256,17 +298,45 @@ func New(cfg Config) (*Gateway, error) {
 		tr:       cfg.Tracer,
 		log:      cfg.Logger,
 		client:   client,
+		events:   newEventLog(cfg.EventBuffer),
+		fed:      &federator{ttl: cfg.FederationTTL},
+		profz:    cfg.Profiler,
 		ring:     ring,
 		shards:   make(map[string]*shardState, len(cfg.Backends)),
 		backends: append([]string(nil), cfg.Backends...),
 		stop:     make(chan struct{}),
+	}
+	if len(cfg.SLOTargets) > 0 {
+		g.slos = prof.NewNamedSLOTracker("hostprof_gateway_slo", cfg.SLOWindow, reg)
+		for endpoint, target := range cfg.SLOTargets {
+			g.slos.Register(endpoint, target)
+		}
+	}
+	if cfg.SlowRequest > 0 {
+		g.slowlog = prof.NewSlowLog(32)
 	}
 	for _, b := range cfg.Backends {
 		g.shards[b] = &shardState{name: b}
 		g.wireShardGauges(b)
 	}
 	g.registerMigrationMetrics()
+	reg.GaugeFunc("hostprof_gateway_worst_shard_burn_rate", g.worstShardBurnRate)
+	g.statusz = g.buildStatusz()
 	return g, nil
+}
+
+// buildStatusz assembles the gateway's /debug/statusz: the cluster
+// view, gateway SLOs, the newest timeline events, the federation
+// scrape ledger and the slow-request log — the one-pager an operator
+// opens first.
+func (g *Gateway) buildStatusz() *prof.Statusz {
+	sz := prof.NewStatusz()
+	sz.Section("cluster", func() any { return g.ClusterStatus() })
+	sz.Section("slo", func() any { return g.slos.Status() })
+	sz.Section("events", func() any { return g.events.last(50) })
+	sz.Section("federation", func() any { return scrapeStatuses(g.fed.cached()) })
+	sz.Section("slow_requests", func() any { return g.slowlog.Snapshot() })
+	return sz
 }
 
 // Metrics returns the registry the gateway exports into.
@@ -319,6 +389,8 @@ func (g *Gateway) SetBackends(backends []string) error {
 		}
 	}
 	g.mu.Unlock()
+	g.event(EventRingRebalance, "", "ring rebalanced over new membership",
+		"backends", strconv.Itoa(len(backends)))
 	g.log.Info("gateway ring rebalanced", slog.Int("backends", len(backends)))
 	return nil
 }
@@ -374,10 +446,15 @@ func (g *Gateway) healthLoop() {
 //	GET  /v1/stats          → aggregated across live shards
 //	GET  /v1/cluster        → ring, shard health, model versions, migration
 //	POST /v1/cluster/resize → start/resume/join a keyspace migration
-//	GET  /metrics, /varz    → gateway metrics
+//	GET  /v1/cluster/metrics→ federated shard metrics, merged (partial on scrape failures)
+//	GET  /v1/cluster/events → the cluster event timeline (?since=<id> cursor)
+//	GET  /metrics           → gateway metrics + shard="<name>"-labelled federated series
+//	GET  /varz              → gateway metrics (JSON)
 //	GET  /healthz           → gateway liveness
 //	GET  /readyz            → 200 when ≥1 shard is alive ("degraded" mid-migration)
-//	GET  /debug/traces      → gateway half of distributed traces
+//	GET  /debug/traces      → distributed traces (gateway spans + shard-pushed spans)
+//	GET  /debug/statusz     → cluster one-pager (health, SLOs, events, federation)
+//	GET  /debug/prof/       → profile capture ring, when a Profiler is wired
 func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/report", g.instrument("report", g.handleReport))
@@ -387,12 +464,18 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", g.instrument("stats", g.handleStats))
 	mux.HandleFunc("GET /v1/cluster", g.instrument("cluster", g.handleCluster))
 	mux.HandleFunc("POST /v1/cluster/resize", g.instrument("cluster_resize", g.handleResize))
-	mux.Handle("GET /metrics", g.reg.MetricsHandler())
+	mux.HandleFunc("GET /v1/cluster/metrics", g.instrument("cluster_metrics", g.handleClusterMetrics))
+	mux.HandleFunc("GET /v1/cluster/events", g.instrument("cluster_events", g.handleEvents))
+	mux.Handle("GET /metrics", g.federatedMetricsHandler())
 	mux.Handle("GET /varz", g.reg.VarzHandler())
 	mux.Handle("GET /healthz", obs.HealthzHandler(nil))
 	mux.HandleFunc("GET /readyz", g.handleReadyz)
+	mux.Handle("GET /debug/statusz", g.statusz.Handler())
 	if g.tr.Enabled() {
 		mux.Handle("/debug/traces", g.tr.Handler())
+	}
+	if g.profz.Enabled() {
+		mux.Handle("/debug/prof/", g.profz.Handler())
 	}
 	return mux
 }
@@ -403,6 +486,10 @@ func (g *Gateway) Handler() http.Handler {
 // gateway and the shards it fans out to share one trace ID.
 func (g *Gateway) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	lat := g.reg.Histogram("hostprof_gateway_request_seconds", nil, obs.L("endpoint", endpoint))
+	// The SLO handle is resolved once per endpoint at wrap time; per
+	// request it is one nil-safe Observe. Endpoints without a
+	// configured target get a nil handle — zero cost.
+	slo := g.slos.Get(endpoint)
 	return func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		start := time.Now()
@@ -421,15 +508,57 @@ func (g *Gateway) instrument(endpoint string, h http.HandlerFunc) http.HandlerFu
 			if rec.code >= 500 {
 				span.Error(fmt.Errorf("HTTP %d", rec.code))
 			}
+			slow := g.cfg.SlowRequest > 0 && d >= g.cfg.SlowRequest
+			var capIDs []uint64
+			if slow {
+				// Snapshot goroutine+mutex profiles tagged with this
+				// trace before the span closes, so the /debug/traces
+				// entry links to the evidence. The profiler rate-limits
+				// trigger captures internally; nil profiler = no-op.
+				capIDs = g.profz.CaptureSlow(span.TraceIDString())
+			}
 			span.SetAttr("code", strconv.Itoa(rec.code))
 			span.End()
 			lat.ObserveExemplar(d.Seconds(), span.TraceIDString())
+			slo.Observe(d.Seconds())
 			g.reg.Counter("hostprof_gateway_requests_total",
 				obs.L("endpoint", endpoint),
 				obs.L("code", strconv.Itoa(rec.code))).Inc()
+			if slow {
+				g.slowlog.Add(prof.SlowEntry{
+					Endpoint:   endpoint,
+					Code:       rec.code,
+					Seconds:    d.Seconds(),
+					TraceID:    span.TraceIDString(),
+					CaptureIDs: capIDs,
+				})
+				g.log.LogAttrs(r.Context(), slog.LevelWarn, "slow gateway request",
+					slog.String("endpoint", endpoint),
+					slog.Int("code", rec.code),
+					slog.Duration("elapsed", d),
+					slog.String("stages", formatStages(span.Stages())))
+			}
 		}()
 		h(rec, r)
 	}
+}
+
+// formatStages renders a span's per-stage breakdown for the slow-log
+// line: "shard.report=12ms shard.retry=3ms".
+func formatStages(stages []tracer.Stage) string {
+	if len(stages) == 0 {
+		return "-"
+	}
+	var b strings.Builder
+	for i, st := range stages {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(st.Name)
+		b.WriteByte('=')
+		b.WriteString(st.Duration.Round(time.Microsecond).String())
+	}
+	return b.String()
 }
 
 // statusRecorder captures the response code a handler wrote.

@@ -23,6 +23,7 @@ type shardState struct {
 	alive        bool // answered its last /readyz probe at all
 	ready        bool // answered 200: trained and fully durable
 	degraded     bool // serving memory-only (WAL detached)
+	shedding     bool // a request was refused because this shard was down (shed window open)
 	modelVersion string
 	visits       int
 	fails        int // consecutive failed probes
@@ -167,6 +168,11 @@ func (g *Gateway) markProbe(name string, alive bool, rd server.Readiness, errMsg
 		return
 	}
 	wasAlive, wasReady := s.alive, s.ready
+	oldVersion := s.modelVersion
+	shedClosed := alive && s.shedding
+	if shedClosed {
+		s.shedding = false
+	}
 	s.alive = alive
 	s.ready = alive && rd.Ready
 	s.degraded = rd.StoreDegraded
@@ -179,8 +185,31 @@ func (g *Gateway) markProbe(name string, alive bool, rd server.Readiness, errMsg
 	} else {
 		s.fails++
 	}
+	nowReady := s.ready
 	g.mu.Unlock()
-	if wasAlive != alive || wasReady != s.ready {
+	if wasAlive != alive {
+		if alive {
+			g.event(EventShardUp, name, "shard answering probes again")
+		} else {
+			g.event(EventShardDown, name, "shard stopped answering probes", "err", errMsg)
+		}
+	}
+	if wasReady != nowReady {
+		if nowReady {
+			g.event(EventShardReady, name, "shard ready",
+				"model_version", rd.ModelVersion)
+		} else if wasAlive == alive { // the liveness event already tells the story
+			g.event(EventShardUnready, name, "shard alive but not ready", "err", errMsg)
+		}
+	}
+	if shedClosed {
+		g.event(EventShedClose, name, "shed window closed: shard is back")
+	}
+	if alive && rd.ModelVersion != oldVersion && rd.ModelVersion != "" {
+		g.event(EventModelVersion, name, "shard serving a new model version",
+			"from", oldVersion, "to", rd.ModelVersion)
+	}
+	if wasAlive != alive || wasReady != nowReady {
 		g.log.Info("shard state change",
 			slog.String("backend", name),
 			slog.Bool("alive", alive),
@@ -200,11 +229,30 @@ func (g *Gateway) markDead(name string, err error) {
 		s.fails++
 		s.lastErr = err.Error()
 		g.mu.Unlock()
+		g.event(EventShardDown, name, "shard marked dead on request failure",
+			"err", err.Error())
 		g.log.Warn("shard marked dead on request failure",
 			slog.String("backend", name), slog.String("err", err.Error()))
 		return
 	}
 	g.mu.Unlock()
+}
+
+// noteShed records the shed-window-open edge for a down shard: the
+// first refused request opens the window (one event, however many
+// requests are refused inside it); the window closes when the shard
+// answers a probe again (markProbe).
+func (g *Gateway) noteShed(name string) {
+	g.mu.Lock()
+	s := g.shards[name]
+	opened := s != nil && !s.shedding
+	if opened {
+		s.shedding = true
+	}
+	g.mu.Unlock()
+	if opened {
+		g.event(EventShedOpen, name, "shed window opened: requests for this shard's keyspace refused")
+	}
 }
 
 // shardSnapshot returns a copy of one shard's state (zero value when

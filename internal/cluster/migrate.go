@@ -190,6 +190,29 @@ func (m *Migration) setPhase(p string) {
 	m.mu.Lock()
 	m.phase = p
 	m.mu.Unlock()
+	m.phaseEvent(p)
+}
+
+// phaseEvent records one migration state-machine transition on the
+// cluster timeline, with the range counts an operator needs to judge
+// progress. Called from the supervisor goroutine only.
+func (m *Migration) phaseEvent(p string) {
+	total, done, aborted := 0, 0, 0
+	for _, r := range m.allRanges() {
+		total++
+		switch r.st() {
+		case rangeDone:
+			done++
+		case rangeAborted:
+			aborted++
+		}
+	}
+	m.g.event(EventMigration, "", "migration "+p,
+		"phase", p,
+		"ranges", strconv.Itoa(total),
+		"ranges_done", strconv.Itoa(done),
+		"ranges_aborted", strconv.Itoa(aborted),
+		"records_copied", strconv.FormatInt(m.records.Load(), 10))
 }
 
 // RangeStatus is one range's externally visible state.
@@ -712,6 +735,8 @@ func (m *Migration) abortRange(r *migRange, err error) {
 	r.lastErr = err.Error()
 	m.mu.Unlock()
 	m.g.met.migRangesAborted.Inc()
+	m.g.event(EventMigrationRange, r.To, "migration range aborted, rolled back to old owner",
+		"from", r.From, "to", r.To, "err", err.Error())
 	m.g.log.Warn("migration range aborted",
 		slog.String("from", r.From), slog.String("to", r.To),
 		slog.String("err", err.Error()))
@@ -860,6 +885,8 @@ func (m *Migration) finish(ctx context.Context) {
 	g.ring = m.newRing
 	g.ringMu.Unlock()
 	g.met.rebalances.Inc()
+	g.event(EventRingRebalance, "", "ring cut over to post-migration membership",
+		"backends", strconv.Itoa(len(m.to)))
 
 	g.mu.Lock()
 	g.backends = append([]string(nil), m.to...)
@@ -895,6 +922,7 @@ func (m *Migration) finish(ctx context.Context) {
 	m.phase = "done"
 	m.finished = time.Now()
 	m.mu.Unlock()
+	m.phaseEvent("done")
 	g.met.migDone.Inc()
 	// Keep the terminal status visible after uninstall.
 	st := m.Status()
@@ -919,6 +947,7 @@ func (m *Migration) fail(err error) {
 	m.errMsg = err.Error()
 	m.finished = time.Now()
 	m.mu.Unlock()
+	m.phaseEvent("failed")
 	m.g.met.migFailed.Inc()
 	m.g.log.Warn("cluster resize failed (resumable)", slog.String("err", err.Error()))
 }

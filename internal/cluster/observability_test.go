@@ -1,0 +1,440 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hostprof/internal/ads"
+	"hostprof/internal/core"
+	"hostprof/internal/obs/tracer"
+	"hostprof/internal/server"
+	"hostprof/internal/synth"
+)
+
+// getJSON fetches url and decodes the body into out.
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s → %d: %s", url, resp.StatusCode, raw)
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		t.Fatalf("GET %s: %v: %s", url, err, raw)
+	}
+}
+
+// TestTracePushCompletesClusterTrace is the cross-process tracing
+// acceptance test: one POST /v1/report through the gateway must yield
+// one trace at the gateway's /debug/traces holding both the gateway's
+// gw.* spans and the shard's http.report/store.ingest spans under the
+// same trace ID — the shard pushes its half via the tracer Sink →
+// Pusher → POST /debug/traces path, and Ingest merges by ID.
+func TestTracePushCompletesClusterTrace(t *testing.T) {
+	u := synth.NewUniverse(synth.UniverseConfig{Sites: 60, Trackers: 10, Seed: 3})
+	ont := synth.BuildOntology(u, synth.OntologyConfig{Coverage: 0.2, Seed: 5})
+	db := ads.BuildFromOntology(ont, ads.BuildConfig{Seed: 7})
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+
+	// The pusher needs the gateway URL, which does not exist until the
+	// shards do — the sink closure resolves it lazily, which is also
+	// how it stays nil-safe before wiring.
+	var pusher atomic.Pointer[tracer.Pusher]
+	sink := func(spans []tracer.SpanData) {
+		if p := pusher.Load(); p != nil {
+			p.Offer(spans)
+		}
+	}
+
+	var urls []string
+	for i := 0; i < 2; i++ {
+		trc := tracer.New(tracer.Config{Service: "hostprof-serve", SampleRate: 1, Sink: sink})
+		b, err := server.New(server.Config{
+			Ontology: ont,
+			AdDB:     db,
+			Train:    core.TrainConfig{Dim: 16, Epochs: 2, MinCount: 1, Workers: 1, Seed: 11, Subsample: -1},
+			Profile:  core.ProfilerConfig{N: 30, Agg: core.AggIDF},
+			Tracer:   trc,
+			Logger:   quiet,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(b.Handler())
+		t.Cleanup(srv.Close)
+		urls = append(urls, srv.URL)
+	}
+
+	gw, err := New(Config{
+		Backends:       urls,
+		HealthInterval: -1,
+		Tracer:         tracer.New(tracer.Config{Service: "hostprof-gateway", SampleRate: 1}),
+		Logger:         quiet,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(gw.Close)
+	gw.CheckHealth(context.Background())
+	gwSrv := httptest.NewServer(gw.Handler())
+	t.Cleanup(gwSrv.Close)
+
+	p := tracer.NewPusher(tracer.PushConfig{
+		URL:           gwSrv.URL + "/debug/traces",
+		FlushInterval: 10 * time.Millisecond,
+	})
+	t.Cleanup(p.Close)
+	pusher.Store(p)
+
+	// One report through the gateway; 503 is the ingested-but-untrained
+	// answer, which still traces end to end.
+	report(t, gwSrv.URL, 1, []string{"news.example", "cdn.example"},
+		http.StatusOK, http.StatusServiceUnavailable)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var body struct {
+			Traces []tracer.TraceJSON `json:"traces"`
+		}
+		getJSON(t, gwSrv.URL+"/debug/traces", &body)
+		for _, tr := range body.Traces {
+			names := make(map[string]bool)
+			services := make(map[string]bool)
+			for _, sp := range tr.Spans {
+				if sp.TraceID != tr.TraceID {
+					t.Fatalf("span %s carries trace %s inside trace %s", sp.Name, sp.TraceID, tr.TraceID)
+				}
+				names[sp.Name] = true
+				services[sp.Service] = true
+			}
+			if names["gw.report"] && names["store.ingest"] {
+				if !names["http.report"] {
+					t.Fatalf("merged trace missing the shard's root span: %v", names)
+				}
+				if !services["hostprof-gateway"] || !services["hostprof-serve"] {
+					t.Fatalf("merged trace spans one service only: %v", services)
+				}
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no merged gateway+shard trace after 5s; traces: %+v", body.Traces)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// TestClusterMetricsFederationDegrades exercises the federated view:
+// all shards answering → every ledger entry ok, counters summed and
+// gauges shard-labelled; one shard killed → its entry degrades to
+// stale (last good snapshot retained), the endpoint still answers 200,
+// and the timeline records the shard_down flap.
+func TestClusterMetricsFederationDegrades(t *testing.T) {
+	fx := newClusterFixtureCfg(t, 3, 6, func(c *Config) {
+		c.FederationTTL = time.Nanosecond // every read re-scrapes
+	})
+	fx.feedViaGateway(t)
+
+	var cm ClusterMetrics
+	getJSON(t, fx.gwSrv.URL+"/v1/cluster/metrics", &cm)
+	if len(cm.Shards) != 3 {
+		t.Fatalf("ledger has %d shards, want 3: %+v", len(cm.Shards), cm.Shards)
+	}
+	for _, s := range cm.Shards {
+		if s.Status != "ok" || s.Series == 0 {
+			t.Fatalf("healthy shard %s scraped as %q (%d series, err %q)", s.Backend, s.Status, s.Series, s.Error)
+		}
+	}
+	var reportsSummed float64
+	sawShardGauge := false
+	for _, m := range cm.Metrics {
+		if m.Name == "hostprof_http_requests_total" && m.Labels["endpoint"] == "report" {
+			if m.Labels["shard"] != "" {
+				t.Fatalf("summed counter still carries a shard label: %+v", m)
+			}
+			reportsSummed += m.Value
+		}
+		if m.Kind == "gauge" && m.Labels["shard"] != "" {
+			sawShardGauge = true
+		}
+	}
+	if reportsSummed == 0 {
+		t.Fatal("merged view has no summed hostprof_http_requests_total{endpoint=report}")
+	}
+	if !sawShardGauge {
+		t.Fatal("merged view has no shard-labelled gauge")
+	}
+
+	// The federated /metrics block re-exposes shard series with a shard
+	// label and must keep the text exposition valid: one # TYPE header
+	// per family across the local and federated blocks.
+	resp, err := http.Get(fx.gwSrv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(text), `shard="`) {
+		t.Fatal("/metrics has no federated shard-labelled series")
+	}
+	typeSeen := make(map[string]bool)
+	for _, line := range strings.Split(string(text), "\n") {
+		if !strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		fam := strings.Fields(line)[2]
+		if typeSeen[fam] {
+			t.Fatalf("duplicate # TYPE header for family %s", fam)
+		}
+		typeSeen[fam] = true
+	}
+
+	// Kill one shard: federation degrades that entry, never the
+	// endpoint, and the probe records the liveness flap on the timeline.
+	victim := fx.shardSrv[0].URL
+	fx.shardSrv[0].Close()
+	fx.gw.CheckHealth(context.Background())
+
+	getJSON(t, fx.gwSrv.URL+"/v1/cluster/metrics", &cm)
+	byBackend := make(map[string]ShardScrapeStatus)
+	for _, s := range cm.Shards {
+		byBackend[s.Backend] = s
+	}
+	if got := byBackend[victim]; got.Status != "stale" || got.Error == "" {
+		t.Fatalf("dead shard scraped as %q (err %q), want stale with error", got.Status, got.Error)
+	}
+	ok := 0
+	for _, s := range cm.Shards {
+		if s.Status == "ok" {
+			ok++
+		}
+	}
+	if ok != 2 {
+		t.Fatalf("%d shards still ok after one kill, want 2: %+v", ok, cm.Shards)
+	}
+	if len(cm.Metrics) == 0 {
+		t.Fatal("merged view emptied out after a partial scrape")
+	}
+
+	var ev struct {
+		Events []Event `json:"events"`
+		LastID int64   `json:"last_id"`
+	}
+	getJSON(t, fx.gwSrv.URL+"/v1/cluster/events", &ev)
+	found := false
+	for _, e := range ev.Events {
+		if e.Type == EventShardDown && e.Shard == victim {
+			if e.UnixNano <= 0 {
+				t.Fatalf("shard_down event without a timestamp: %+v", e)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("timeline has no shard_down for %s: %+v", victim, ev.Events)
+	}
+}
+
+// TestFederationMissingShard covers the never-scraped state: a backend
+// that has never answered /varz reports missing (no data), while the
+// endpoint still serves 200.
+func TestFederationMissingShard(t *testing.T) {
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	gw, err := New(Config{
+		Backends:       []string{"http://127.0.0.1:1"},
+		HealthInterval: -1,
+		ShardTimeout:   200 * time.Millisecond,
+		FederationTTL:  time.Nanosecond,
+		Logger:         quiet,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(gw.Close)
+	srv := httptest.NewServer(gw.Handler())
+	t.Cleanup(srv.Close)
+
+	var cm ClusterMetrics
+	getJSON(t, srv.URL+"/v1/cluster/metrics", &cm)
+	if len(cm.Shards) != 1 || cm.Shards[0].Status != "missing" || cm.Shards[0].Error == "" {
+		t.Fatalf("unreachable shard ledger: %+v", cm.Shards)
+	}
+}
+
+// TestClusterEventsCursor drives the ?since cursor protocol: the
+// initial probe flaps are visible, a read from last_id is empty until
+// new events land, and only the new events come back then.
+func TestClusterEventsCursor(t *testing.T) {
+	fx := newClusterFixture(t, 2, 2)
+
+	type eventsBody struct {
+		Events []Event `json:"events"`
+		LastID int64   `json:"last_id"`
+	}
+	var first eventsBody
+	getJSON(t, fx.gwSrv.URL+"/v1/cluster/events", &first)
+	if len(first.Events) == 0 || first.LastID == 0 {
+		t.Fatalf("no events after initial health pass: %+v", first)
+	}
+	ups := 0
+	var prevID int64
+	for _, e := range first.Events {
+		if e.ID <= prevID {
+			t.Fatalf("event IDs not increasing: %+v", first.Events)
+		}
+		prevID = e.ID
+		if e.Type == EventShardUp {
+			ups++
+		}
+	}
+	if ups != 2 {
+		t.Fatalf("%d shard_up events for a 2-shard cluster, want 2: %+v", ups, first.Events)
+	}
+
+	var empty eventsBody
+	getJSON(t, fx.gwSrv.URL+"/v1/cluster/events?since="+itoa(first.LastID), &empty)
+	if len(empty.Events) != 0 || empty.LastID != first.LastID {
+		t.Fatalf("cursor read past the end returned %+v", empty)
+	}
+
+	fx.shardSrv[1].Close()
+	fx.gw.CheckHealth(context.Background())
+
+	var delta eventsBody
+	getJSON(t, fx.gwSrv.URL+"/v1/cluster/events?since="+itoa(first.LastID), &delta)
+	if len(delta.Events) == 0 {
+		t.Fatal("no new events after a shard died")
+	}
+	for _, e := range delta.Events {
+		if e.ID <= first.LastID {
+			t.Fatalf("cursor leaked an old event: %+v", e)
+		}
+	}
+	sawDown := false
+	for _, e := range delta.Events {
+		if e.Type == EventShardDown && e.Shard == fx.shardSrv[1].URL {
+			sawDown = true
+		}
+	}
+	if !sawDown {
+		t.Fatalf("delta read missing the shard_down: %+v", delta.Events)
+	}
+
+	// Shed window: a request owned by the dead shard opens it (once).
+	opened := false
+	for uid := 0; uid < 32 && !opened; uid++ {
+		if owner, _ := fx.gw.Ring().Owner(uid); owner != fx.shardSrv[1].URL {
+			continue
+		}
+		report(t, fx.gwSrv.URL, uid, []string{"a.example"}, http.StatusServiceUnavailable, http.StatusBadGateway)
+		var after eventsBody
+		getJSON(t, fx.gwSrv.URL+"/v1/cluster/events?since="+itoa(first.LastID), &after)
+		for _, e := range after.Events {
+			if e.Type == EventShedOpen && e.Shard == fx.shardSrv[1].URL {
+				opened = true
+			}
+		}
+		break
+	}
+	if !opened {
+		t.Fatal("shedding a dead shard's keyspace recorded no shed_open event")
+	}
+
+	// Malformed cursor and limit are client errors.
+	for _, q := range []string{"?since=abc", "?since=-1", "?limit=x"} {
+		resp, err := http.Get(fx.gwSrv.URL + "/v1/cluster/events" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET events%s → %d, want 400", q, resp.StatusCode)
+		}
+	}
+
+	// ?limit keeps the newest.
+	var limited eventsBody
+	getJSON(t, fx.gwSrv.URL+"/v1/cluster/events?limit=1", &limited)
+	if len(limited.Events) != 1 || limited.Events[0].ID != limited.LastID {
+		t.Fatalf("limit=1 did not return exactly the newest event: %+v", limited)
+	}
+}
+
+func itoa(v int64) string { return strconv.FormatInt(v, 10) }
+
+// TestEventLogEviction pins the ring semantics: capacity bounds the
+// buffer, eviction drops the oldest, and the cursor stays valid across
+// evictions because IDs keep increasing.
+func TestEventLogEviction(t *testing.T) {
+	l := newEventLog(4)
+	for i := 0; i < 10; i++ {
+		l.record("t", "", "m", nil)
+	}
+	evs, last := l.since(0)
+	if len(evs) != 4 || last != 10 {
+		t.Fatalf("got %d events, last %d; want 4 retained, cursor 10", len(evs), last)
+	}
+	if evs[0].ID != 7 || evs[3].ID != 10 {
+		t.Fatalf("retained window [%d..%d], want [7..10]", evs[0].ID, evs[3].ID)
+	}
+	evs, _ = l.since(8)
+	if len(evs) != 2 {
+		t.Fatalf("since(8) → %d events, want 2", len(evs))
+	}
+	newest := l.last(2)
+	if len(newest) != 2 || newest[0].ID != 10 || newest[1].ID != 9 {
+		t.Fatalf("last(2) = %+v, want IDs 10,9", newest)
+	}
+	// Nil log: every method is the disabled no-op.
+	var nilLog *eventLog
+	nilLog.record("t", "", "m", nil)
+	if evs, last := nilLog.since(0); evs != nil || last != 0 {
+		t.Fatal("nil eventLog not inert")
+	}
+}
+
+// TestInstrumentDisabledPathAllocs guards the acceptance criterion
+// that the observability plane costs nothing when switched off: with
+// no SLO targets, no slow-request threshold, no profiler and no
+// tracer, one pass through the gateway's instrument wrapper must not
+// allocate beyond the pre-existing recorder + counter-lookup baseline.
+func TestInstrumentDisabledPathAllocs(t *testing.T) {
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	gw, err := New(Config{
+		Backends:       []string{"http://127.0.0.1:1"},
+		HealthInterval: -1,
+		Logger:         quiet,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(gw.Close)
+
+	h := gw.instrument("report", func(w http.ResponseWriter, r *http.Request) {})
+	req := httptest.NewRequest(http.MethodPost, "/v1/report", nil)
+	rec := httptest.NewRecorder()
+	allocs := testing.AllocsPerRun(500, func() { h(rec, req) })
+	// Baseline: statusRecorder, the deferred closure, and the label
+	// structs + lookup key for the per-request counter — all of which
+	// predate the observability plane. The SLO observe, slow-request
+	// check, profiler capture and event hooks must all be free when
+	// disabled (nil receivers / zero thresholds), so any rise here
+	// means a hook leaked onto the hot path.
+	const baseline = 14
+	if allocs > baseline {
+		t.Fatalf("disabled instrument path allocates %.0f/op, budget %d — an observability hook leaked onto the hot path", allocs, baseline)
+	}
+}

@@ -191,6 +191,7 @@ func (g *Gateway) routeUser(w http.ResponseWriter, r *http.Request, path string,
 		// only on the owner, and writing elsewhere would corrupt
 		// placement.
 		g.met.shed.Inc()
+		g.noteShed(owner)
 		w.Header().Set("Retry-After", shedRetryAfter)
 		writeError(w, http.StatusServiceUnavailable,
 			fmt.Sprintf("cluster: shard %s (owner of user %d) is down; retry later", owner, user))

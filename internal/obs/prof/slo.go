@@ -92,6 +92,7 @@ func finiteOrZero(v float64) float64 {
 // receiver.
 type SLOTracker struct {
 	reg    *obs.Registry
+	prefix string
 	window time.Duration
 	slices int
 
@@ -101,8 +102,19 @@ type SLOTracker struct {
 
 // NewSLOTracker builds a tracker whose SLOs measure over the given
 // sliding window (zero selects 5 minutes, sliced at 15s granularity).
-// Gauges land in reg when non-nil.
+// Gauges land in reg when non-nil, under hostprof_slo_* names.
 func NewSLOTracker(window time.Duration, reg *obs.Registry) *SLOTracker {
+	return NewNamedSLOTracker("hostprof_slo", window, reg)
+}
+
+// NewNamedSLOTracker is NewSLOTracker with a caller-chosen metric-name
+// prefix ("hostprof_slo" is the default), so two trackers in one
+// process — a backend's and a gateway's — export distinguishable
+// families (e.g. hostprof_gateway_slo_burn_rate).
+func NewNamedSLOTracker(prefix string, window time.Duration, reg *obs.Registry) *SLOTracker {
+	if prefix == "" {
+		prefix = "hostprof_slo"
+	}
 	if window <= 0 {
 		window = 5 * time.Minute
 	}
@@ -111,13 +123,13 @@ func NewSLOTracker(window time.Duration, reg *obs.Registry) *SLOTracker {
 		slices = 4
 	}
 	if reg != nil {
-		reg.Describe("hostprof_slo_target_seconds", "per-endpoint SLO latency target")
-		reg.Describe("hostprof_slo_window_requests", "requests inside the SLO sliding window")
-		reg.Describe("hostprof_slo_breach_ratio", "fraction of windowed requests over the SLO target")
-		reg.Describe("hostprof_slo_burn_rate", "error-budget burn rate: breach ratio / (1 - objective); >1 burns the budget down")
-		reg.Describe("hostprof_slo_latency_seconds", "windowed latency quantile estimates per endpoint")
+		reg.Describe(prefix+"_target_seconds", "per-endpoint SLO latency target")
+		reg.Describe(prefix+"_window_requests", "requests inside the SLO sliding window")
+		reg.Describe(prefix+"_breach_ratio", "fraction of windowed requests over the SLO target")
+		reg.Describe(prefix+"_burn_rate", "error-budget burn rate: breach ratio / (1 - objective); >1 burns the budget down")
+		reg.Describe(prefix+"_latency_seconds", "windowed latency quantile estimates per endpoint")
 	}
-	return &SLOTracker{reg: reg, window: window, slices: slices, slos: make(map[string]*SLO)}
+	return &SLOTracker{reg: reg, prefix: prefix, window: window, slices: slices, slos: make(map[string]*SLO)}
 }
 
 // Register creates (or returns) the SLO for endpoint with the given
@@ -144,16 +156,16 @@ func (t *SLOTracker) Register(endpoint string, target time.Duration) *SLO {
 	t.slos[endpoint] = s
 	if reg := t.reg; reg != nil {
 		le := obs.L("endpoint", endpoint)
-		reg.GaugeFunc("hostprof_slo_target_seconds", func() float64 { return s.target }, le)
-		reg.GaugeFunc("hostprof_slo_window_requests", func() float64 { return float64(s.win.Count()) }, le)
-		reg.GaugeFunc("hostprof_slo_breach_ratio", func() float64 { return s.Status().BreachRatio }, le)
-		reg.GaugeFunc("hostprof_slo_burn_rate", func() float64 { return s.Status().BurnRate }, le)
+		reg.GaugeFunc(t.prefix+"_target_seconds", func() float64 { return s.target }, le)
+		reg.GaugeFunc(t.prefix+"_window_requests", func() float64 { return float64(s.win.Count()) }, le)
+		reg.GaugeFunc(t.prefix+"_breach_ratio", func() float64 { return s.Status().BreachRatio }, le)
+		reg.GaugeFunc(t.prefix+"_burn_rate", func() float64 { return s.Status().BurnRate }, le)
 		for _, q := range []struct {
 			name string
 			q    float64
 		}{{"0.5", 0.50}, {"0.9", 0.90}, {"0.99", 0.99}} {
 			q := q
-			reg.GaugeFunc("hostprof_slo_latency_seconds",
+			reg.GaugeFunc(t.prefix+"_latency_seconds",
 				func() float64 { return finiteOrZero(s.win.Quantile(q.q)) },
 				le, obs.L("quantile", q.name))
 		}

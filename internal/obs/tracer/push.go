@@ -1,0 +1,201 @@
+package tracer
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"hostprof/internal/obs"
+)
+
+// PushConfig assembles a Pusher.
+type PushConfig struct {
+	// URL is the collector endpoint — a gateway's POST /debug/traces.
+	URL string
+	// Client overrides the HTTP transport (tests). Nil builds one.
+	Client *http.Client
+	// BatchSpans caps the spans sent in one POST (default 512). Queued
+	// traces are coalesced up to this size before each send.
+	BatchSpans int
+	// QueueTraces bounds the pending-trace queue (default 256). A full
+	// queue drops the newest trace rather than blocking the span's End
+	// — backpressure becomes a counter, never request latency.
+	QueueTraces int
+	// FlushInterval is the longest a queued trace waits before being
+	// sent even when the batch is not full (default 1s).
+	FlushInterval time.Duration
+	// Timeout bounds one collector POST (default 5s).
+	Timeout time.Duration
+	// Metrics, when non-nil, receives push counters
+	// (hostprof_trace_push_* names).
+	Metrics *obs.Registry
+	// Logger receives send-failure warnings. Nil selects slog.Default().
+	Logger *slog.Logger
+}
+
+// A Pusher forwards completed traces to a remote collector — the shard
+// half of cross-process trace completion. Offer never blocks: traces
+// queue into a bounded channel and a background loop batches them into
+// POST /debug/traces payloads; when the queue is full the trace is
+// dropped and counted. All methods are safe for concurrent use and on
+// a nil receiver.
+type Pusher struct {
+	url      string
+	client   *http.Client
+	batch    int
+	interval time.Duration
+	timeout  time.Duration
+	log      *slog.Logger
+
+	ch        chan []SpanData
+	sent      *obs.Counter
+	dropped   *obs.Counter
+	sendOK    *obs.Counter
+	sendErr   *obs.Counter
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// NewPusher builds and starts a pusher. Returns nil (the disabled
+// pusher) when cfg.URL is empty.
+func NewPusher(cfg PushConfig) *Pusher {
+	if cfg.URL == "" {
+		return nil
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{}
+	}
+	if cfg.BatchSpans <= 0 {
+		cfg.BatchSpans = 512
+	}
+	if cfg.QueueTraces <= 0 {
+		cfg.QueueTraces = 256
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = time.Second
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	p := &Pusher{
+		url:      cfg.URL,
+		client:   cfg.Client,
+		batch:    cfg.BatchSpans,
+		interval: cfg.FlushInterval,
+		timeout:  cfg.Timeout,
+		log:      cfg.Logger,
+		ch:       make(chan []SpanData, cfg.QueueTraces),
+	}
+	if reg := cfg.Metrics; reg != nil {
+		reg.Describe("hostprof_trace_push_spans_total", "spans offered to the trace pusher, by outcome (queued or dropped on backpressure)")
+		reg.Describe("hostprof_trace_push_batches_total", "trace-push collector POSTs, by outcome")
+		p.sent = reg.Counter("hostprof_trace_push_spans_total", obs.L("outcome", "queued"))
+		p.dropped = reg.Counter("hostprof_trace_push_spans_total", obs.L("outcome", "dropped"))
+		p.sendOK = reg.Counter("hostprof_trace_push_batches_total", obs.L("outcome", "ok"))
+		p.sendErr = reg.Counter("hostprof_trace_push_batches_total", obs.L("outcome", "error"))
+	}
+	p.wg.Add(1)
+	go p.loop()
+	return p
+}
+
+// Offer enqueues one completed trace's spans without blocking — the
+// function handed to Config.Sink. On a full queue the trace is dropped
+// and counted in hostprof_trace_push_spans_total{outcome="dropped"}.
+// Safe on nil.
+func (p *Pusher) Offer(spans []SpanData) {
+	if p == nil || len(spans) == 0 {
+		return
+	}
+	select {
+	case p.ch <- spans:
+		p.sent.Add(int64(len(spans)))
+	default:
+		p.dropped.Add(int64(len(spans)))
+	}
+}
+
+// Close drains the queue, sends what remains, and stops the loop. Safe
+// on nil and idempotent.
+func (p *Pusher) Close() {
+	if p == nil {
+		return
+	}
+	p.closeOnce.Do(func() {
+		close(p.ch)
+		p.wg.Wait()
+	})
+}
+
+// loop batches queued traces and sends them. A tick flushes a partial
+// batch so a quiet shard's traces still arrive within FlushInterval.
+func (p *Pusher) loop() {
+	defer p.wg.Done()
+	t := time.NewTicker(p.interval)
+	defer t.Stop()
+	var pending []SpanData
+	flush := func() {
+		if len(pending) > 0 {
+			p.send(pending)
+			pending = nil
+		}
+	}
+	for {
+		select {
+		case spans, ok := <-p.ch:
+			if !ok {
+				flush()
+				return
+			}
+			pending = append(pending, spans...)
+			if len(pending) >= p.batch {
+				flush()
+			}
+		case <-t.C:
+			flush()
+		}
+	}
+}
+
+// send POSTs one batch to the collector. Failures are counted and
+// logged at most once per interval's batch — the traces are gone; the
+// pusher never retries (the collector is an observability sink, not a
+// durability contract).
+func (p *Pusher) send(spans []SpanData) {
+	body, err := json.Marshal(map[string][]SpanData{"spans": spans})
+	if err != nil {
+		p.sendErr.Inc()
+		return
+	}
+	req, err := http.NewRequest(http.MethodPost, p.url, bytes.NewReader(body))
+	if err != nil {
+		p.sendErr.Inc()
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	ctx, cancel := context.WithTimeout(context.Background(), p.timeout)
+	defer cancel()
+	resp, err := p.client.Do(req.WithContext(ctx))
+	if err != nil {
+		p.sendErr.Inc()
+		p.log.Warn("trace push failed", slog.String("collector", p.url), slog.String("err", err.Error()))
+		return
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		p.sendErr.Inc()
+		p.log.Warn("trace push rejected", slog.String("collector", p.url), slog.String("status", fmt.Sprint(resp.StatusCode)))
+		return
+	}
+	p.sendOK.Inc()
+}

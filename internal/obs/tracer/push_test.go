@@ -1,0 +1,216 @@
+package tracer
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"hostprof/internal/obs"
+)
+
+// mkSpan builds one externally-shaped span record.
+func mkSpan(traceID, spanID, parentID, service, name string) SpanData {
+	return SpanData{
+		TraceID:  traceID,
+		SpanID:   spanID,
+		ParentID: parentID,
+		Service:  service,
+		Name:     name,
+		Start:    1_000_000,
+		Duration: 2_000,
+	}
+}
+
+// collectorValue snapshots one counter series from a registry.
+func counterValue(t *testing.T, reg *obs.Registry, name, outcome string) float64 {
+	t.Helper()
+	for _, m := range reg.Snapshot() {
+		if m.Name == name && m.Labels["outcome"] == outcome {
+			return m.Value
+		}
+	}
+	return 0
+}
+
+// TestPusherBatchesToCollector proves the happy path: offered traces
+// arrive at the collector as POST /debug/traces payloads, and the
+// queued/ok counters account for them.
+func TestPusherBatchesToCollector(t *testing.T) {
+	var mu sync.Mutex
+	var got []SpanData
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var body struct {
+			Spans []SpanData `json:"spans"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			t.Errorf("collector decode: %v", err)
+		}
+		mu.Lock()
+		got = append(got, body.Spans...)
+		mu.Unlock()
+	}))
+	defer srv.Close()
+
+	reg := obs.NewRegistry()
+	p := NewPusher(PushConfig{
+		URL:           srv.URL,
+		FlushInterval: 5 * time.Millisecond,
+		Metrics:       reg,
+		Logger:        slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	id := "0102030405060708090a0b0c0d0e0f10"
+	p.Offer([]SpanData{
+		mkSpan(id, "0000000000000001", "", "shard", "http.report"),
+		mkSpan(id, "0000000000000002", "0000000000000001", "shard", "store.ingest"),
+	})
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("collector received %d spans, want 2", n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	p.Close()
+	if q := counterValue(t, reg, "hostprof_trace_push_spans_total", "queued"); q != 2 {
+		t.Fatalf("queued counter = %v, want 2", q)
+	}
+	if ok := counterValue(t, reg, "hostprof_trace_push_batches_total", "ok"); ok == 0 {
+		t.Fatal("no batch counted as ok")
+	}
+	// Close is idempotent and Offer after close must not panic the
+	// channel (nil pusher contract covers the disabled path).
+	p.Close()
+	var nilP *Pusher
+	nilP.Offer([]SpanData{mkSpan(id, "03", "", "s", "n")})
+	nilP.Close()
+}
+
+// TestPusherDropsOnBackpressure fills the bounded queue against a
+// stalled collector: Offer must never block, the overflow is counted
+// as dropped, and Close still returns once the stall clears.
+func TestPusherDropsOnBackpressure(t *testing.T) {
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+	}))
+	defer srv.Close()
+	defer close(release)
+
+	reg := obs.NewRegistry()
+	p := NewPusher(PushConfig{
+		URL:         srv.URL,
+		QueueTraces: 1,
+		BatchSpans:  1, // first trace goes straight into a (stalled) send
+		Timeout:     100 * time.Millisecond,
+		Metrics:     reg,
+		Logger:      slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			p.Offer([]SpanData{mkSpan("0102030405060708090a0b0c0d0e0f10",
+				fmt.Sprintf("%016x", i+1), "", "shard", "span")})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Offer blocked on a full queue")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for counterValue(t, reg, "hostprof_trace_push_spans_total", "dropped") == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("nothing counted as dropped under backpressure")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	p.Close() // sends time out (100ms each) rather than hanging on the stall
+	if e := counterValue(t, reg, "hostprof_trace_push_batches_total", "error"); e == 0 {
+		t.Fatal("stalled collector produced no error batches")
+	}
+}
+
+// TestNewPusherDisabled pins the disabled constructor: no URL, no
+// pusher, and the nil result is safe everywhere it is handed out.
+func TestNewPusherDisabled(t *testing.T) {
+	if p := NewPusher(PushConfig{}); p != nil {
+		t.Fatal("empty URL must return the nil (disabled) pusher")
+	}
+}
+
+// TestIngestConcurrentPushers is the cross-process merge contract
+// under -race: the gateway's own spans and two shards' pushes for the
+// same trace ID land concurrently, and the collector ends up with one
+// trace holding every span.
+func TestIngestConcurrentPushers(t *testing.T) {
+	collector := New(Config{Service: "gateway", SampleRate: 1, BufferTraces: 8})
+	const traceID = "0102030405060708090a0b0c0d0e0f10"
+	batches := [][]SpanData{
+		{
+			mkSpan(traceID, "0000000000000001", "", "gateway", "gw.report"),
+			mkSpan(traceID, "0000000000000002", "0000000000000001", "gateway", "shard.report"),
+		},
+		{
+			mkSpan(traceID, "0000000000000003", "0000000000000002", "shard-a", "http.report"),
+			mkSpan(traceID, "0000000000000004", "0000000000000003", "shard-a", "store.ingest"),
+		},
+		{
+			mkSpan(traceID, "0000000000000005", "0000000000000002", "shard-b", "http.report"),
+		},
+	}
+	var wg sync.WaitGroup
+	for _, b := range batches {
+		wg.Add(1)
+		go func(b []SpanData) {
+			defer wg.Done()
+			if n := collector.Ingest(b); n != len(b) {
+				t.Errorf("Ingest accepted %d of %d spans", n, len(b))
+			}
+		}(b)
+	}
+	wg.Wait()
+
+	tr, ok := collector.TraceByID(traceID)
+	if !ok {
+		t.Fatal("merged trace not retrievable by ID")
+	}
+	if len(tr.Spans) != 5 {
+		t.Fatalf("merged trace has %d spans, want 5: %+v", len(tr.Spans), tr.Spans)
+	}
+	if !tr.Sampled {
+		t.Fatal("pushed trace must be retained (sampled)")
+	}
+	services := make(map[string]int)
+	for _, sp := range tr.Spans {
+		if sp.TraceID != traceID {
+			t.Fatalf("span %s under wrong trace: %s", sp.Name, sp.TraceID)
+		}
+		services[sp.Service]++
+	}
+	if services["gateway"] != 2 || services["shard-a"] != 2 || services["shard-b"] != 1 {
+		t.Fatalf("span distribution by service = %v", services)
+	}
+	// Exactly one retained trace: three concurrent pushes of one ID
+	// must not fan out into three buffer entries.
+	if n := len(collector.Traces()); n != 1 {
+		t.Fatalf("buffer holds %d traces, want 1", n)
+	}
+
+	// Malformed IDs are skipped, not fatal.
+	if n := collector.Ingest([]SpanData{mkSpan("zz", "01", "", "s", "bad")}); n != 0 {
+		t.Fatalf("malformed trace ID accepted: %d", n)
+	}
+}

@@ -99,6 +99,12 @@ type Config struct {
 	Metrics *obs.Registry
 	// Seed fixes the ID sequence for tests; 0 seeds from the clock.
 	Seed uint64
+	// Sink, when non-nil, receives a copy of every kept trace's spans
+	// at completion — the cross-process export hook a Pusher plugs into
+	// so a shard's half of a distributed trace reaches the gateway's
+	// collector. Called synchronously from the root span's End, so
+	// implementations must not block (Pusher.Offer drops instead).
+	Sink func(spans []SpanData)
 }
 
 // Tracer creates spans and retains completed traces. All methods are
@@ -108,6 +114,7 @@ type Tracer struct {
 	thresh  uint64 // head-sampling threshold over the ID's low 8 bytes
 	idstate atomic.Uint64
 	buf     ring
+	sink    func([]SpanData)
 
 	spans   *obs.Counter
 	kept    *obs.Counter
@@ -128,6 +135,7 @@ func New(cfg Config) *Tracer {
 		service: cfg.Service,
 		thresh:  sampleThreshold(cfg.SampleRate),
 		buf:     ring{cap: cfg.BufferTraces, byID: make(map[TraceID]*traceData)},
+		sink:    cfg.Sink,
 	}
 	seed := cfg.Seed
 	if seed == 0 {
@@ -458,6 +466,13 @@ func (t *Tracer) finish(td *traceData) {
 	}
 	t.kept.Inc()
 	t.buf.add(td)
+	if t.sink != nil {
+		td.mu.Lock()
+		spans := make([]SpanData, len(td.spans))
+		copy(spans, td.spans)
+		td.mu.Unlock()
+		t.sink(spans)
+	}
 }
 
 // ring is the completed-trace buffer: fixed capacity, oldest evicted

@@ -179,13 +179,25 @@ var trainBuckets = obs.ExpBuckets(0.01, 4, 10)
 
 func newBackendMetrics(reg *obs.Registry) backendMetrics {
 	reg.Describe("hostprof_reports_total", "extension hostname reports accepted")
+	reg.Describe("hostprof_report_hosts_total", "hostnames ingested across accepted reports")
+	reg.Describe("hostprof_report_blocklist_drops_total", "reported hostnames dropped by the blocklist before ingest")
+	reg.Describe("hostprof_retrain_total", "model retrains attempted")
+	reg.Describe("hostprof_retrain_errors_total", "model retrains that failed or were aborted")
 	reg.Describe("hostprof_retrain_seconds", "wall time of full model retrains")
+	reg.Describe("hostprof_train_epochs_total", "training epochs completed across retrains")
+	reg.Describe("hostprof_train_epoch_seconds", "wall time of one training epoch")
+	reg.Describe("hostprof_train_epoch_loss", "training loss of the most recent epoch")
 	reg.Describe("hostprof_profile_seconds", "per-report session profiling latency")
 	reg.Describe("hostprof_campaign_impressions", "ad impressions recorded, by ad source")
 	reg.Describe("hostprof_campaign_clicks", "ad clicks recorded, by ad source")
 	reg.Describe("hostprof_http_shed_total", "report requests shed by the max-in-flight admission gate")
 	reg.Describe("hostprof_http_panics_total", "handler panics recovered into 500s")
 	reg.Describe("hostprof_retrain_state", "0 idle, 1 retrain in flight")
+	reg.Describe("hostprof_model_imports_total", "models installed via PUT /v1/model (gateway distribution)")
+	reg.Describe("hostprof_http_requests_total", "HTTP requests served, by endpoint and status code")
+	reg.Describe("hostprof_http_request_seconds", "HTTP request latency, by endpoint")
+	reg.Describe("hostprof_profile_cache_size", "entries currently held by the session-profile LRU")
+	reg.Describe("hostprof_model_trained", "1 when a trained model is being served, else 0")
 	return backendMetrics{
 		reports:        reg.Counter("hostprof_reports_total"),
 		reportHosts:    reg.Counter("hostprof_report_hosts_total"),

@@ -28,8 +28,12 @@ func newStoreMetrics(reg *obs.Registry, s *Store) storeMetrics {
 	reg.Describe("hostprof_store_wal_bytes_total", "bytes written to the write-ahead log")
 	reg.Describe("hostprof_store_fsyncs_total", "WAL fsync calls issued")
 	reg.Describe("hostprof_store_segment_rotations_total", "WAL segment rotations (size bound or snapshot cut)")
+	reg.Describe("hostprof_store_snapshots_total", "snapshots written successfully")
+	reg.Describe("hostprof_store_snapshot_errors_total", "snapshot writes that failed")
 	reg.Describe("hostprof_store_snapshot_seconds", "wall time of snapshot writes")
 	reg.Describe("hostprof_store_recovery_records_total", "WAL records replayed during startup recovery")
+	reg.Describe("hostprof_store_recovery_torn_tails_total", "torn WAL tails truncated during recovery")
+	reg.Describe("hostprof_store_wal_probe_failures_total", "failed WAL re-attach probes while degraded")
 	reg.Describe("hostprof_store_visits", "visits held in the store")
 	reg.Describe("hostprof_store_users", "distinct users held in the store")
 	reg.Describe("hostprof_store_degraded", "1 while the WAL is detached after a write failure and the store runs memory-only")
