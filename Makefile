@@ -22,12 +22,17 @@ race:
 chaos:
 	$(GO) test -race -run 'Chaos|Degraded|Retrain|Shed|Panic|Fault' ./...
 
+# The 470Kx128 ANN graph build alone runs ~15 min on one core, so the
+# suite needs an explicit -timeout past go test's 10m default.
 bench:
-	$(GO) test -bench=. -benchmem -benchtime 1x .
+	$(GO) test -bench=. -benchmem -benchtime 1x -timeout 60m .
 
 # Machine-readable benchmark trajectory for perf PRs.
+# go test runs first, alone, so a bench failure or timeout fails the
+# target instead of vanishing into the pipe.
 bench-json:
-	$(GO) test -bench=. -benchmem -benchtime 1x -run '^$$' . | $(GO) run ./cmd/benchjson > BENCH_results.json
+	$(GO) test -bench=. -benchmem -benchtime 1x -timeout 60m -run '^$$' . > /tmp/bench-raw.txt
+	$(GO) run ./cmd/benchjson < /tmp/bench-raw.txt > BENCH_results.json
 	@echo wrote BENCH_results.json
 
 # Perf-regression gate: rerun the benchmarks and diff against the
@@ -36,7 +41,8 @@ bench-json:
 # the same (see the perf-gate job).
 BENCH_TOLERANCE ?= 2.0
 bench-diff:
-	$(GO) test -bench=. -benchmem -benchtime 1x -run '^$$' . | $(GO) run ./cmd/benchjson > /tmp/bench-head.json
+	$(GO) test -bench=. -benchmem -benchtime 1x -timeout 60m -run '^$$' . > /tmp/bench-raw.txt
+	$(GO) run ./cmd/benchjson < /tmp/bench-raw.txt > /tmp/bench-head.json
 	$(GO) run ./cmd/hostprof bench-diff -tolerance $(BENCH_TOLERANCE) BENCH_results.json /tmp/bench-head.json
 
 # Statement-coverage floor over the profiling core and the serving
@@ -53,6 +59,7 @@ cover:
 # Short fuzz smoke over the WAL record decoder (CI runs the same).
 fuzz:
 	$(GO) test ./internal/store -run '^$$' -fuzz '^FuzzWALRecord$$' -fuzztime 10s
+	$(GO) test ./internal/index -run '^$$' -fuzz '^FuzzANNBuild$$' -fuzztime 10s
 
 # Mirrors .github/workflows/ci.yml.
 ci:
@@ -62,6 +69,7 @@ ci:
 	$(GO) test ./...
 	$(GO) test -race ./...
 	$(GO) test ./internal/store -run '^$$' -fuzz '^FuzzWALRecord$$' -fuzztime 10s
+	$(GO) test ./internal/index -run '^$$' -fuzz '^FuzzANNBuild$$' -fuzztime 10s
 
 # End-to-end distributed-tracing demo: serve a small synthetic world,
 # post one traced report (triggering a retrain), and print the merged

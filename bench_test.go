@@ -753,3 +753,135 @@ func BenchmarkProfileBatch(b *testing.B) {
 		b.ReportMetric(float64(len(sessions)), "sessions")
 	})
 }
+
+// --- Approximate neighbour search (HNSW vs exact scan) ------------------
+
+// annBenchState lazily builds one benchmark scale: a clustered corpus
+// (the shape trained embeddings take), its packed exact index, the HNSW
+// graph, session-like mixture queries and their exact top-50 ground
+// truth. Everything heavy happens once, outside every timer.
+type annBenchState struct {
+	rows, dim, clusters int
+
+	once    sync.Once
+	ix      *index.Index
+	ann     *index.ANN
+	queries [][]float64
+	exact   [][]index.Result
+}
+
+var (
+	annBench100K = annBenchState{rows: 100_000, dim: 128, clusters: 1500}
+	annBench470K = annBenchState{rows: 470_000, dim: 128, clusters: 6000}
+)
+
+const annBenchK = 50
+
+func (s *annBenchState) setup(b *testing.B) {
+	b.Helper()
+	s.once.Do(func() {
+		rng := stats.NewRNG(uint64(s.rows))
+		centroids := make([]float64, s.clusters*s.dim)
+		for i := range centroids {
+			centroids[i] = rng.Float64()*2 - 1
+		}
+		vecs := make([]float64, s.rows*s.dim)
+		for r := 0; r < s.rows; r++ {
+			if r%5 == 4 { // long-tail hosts
+				for i := 0; i < s.dim; i++ {
+					vecs[r*s.dim+i] = rng.Float64()*2 - 1
+				}
+				continue
+			}
+			c := r % s.clusters
+			for i := 0; i < s.dim; i++ {
+				vecs[r*s.dim+i] = centroids[c*s.dim+i] + rng.NormFloat64()*0.35
+			}
+		}
+		s.ix = index.New(vecs, s.rows, s.dim, index.Config{})
+		s.ann = s.ix.BuildANN(index.ANNConfig{Seed: 99})
+
+		// Eq.(3)-shaped queries: weighted same-topic host mixtures plus
+		// one long-tail host, lightly perturbed.
+		s.queries = make([][]float64, 32)
+		s.exact = make([][]index.Result, len(s.queries))
+		for qi := range s.queries {
+			q := make([]float64, s.dim)
+			anchor := rng.Intn(s.rows)
+			for anchor%5 == 4 {
+				anchor = rng.Intn(s.rows)
+			}
+			for h := 0; h < 3+rng.Intn(6); h++ {
+				r := (anchor + h*s.clusters) % s.rows
+				if r%5 == 4 {
+					r = (r + s.clusters) % s.rows
+				}
+				w := 0.3 + rng.Float64()
+				for i := 0; i < s.dim; i++ {
+					q[i] += w * vecs[r*s.dim+i]
+				}
+			}
+			tail := rng.Intn(s.rows/5)*5 + 4
+			for i := 0; i < s.dim; i++ {
+				q[i] += 0.3*vecs[tail*s.dim+i] + (rng.Float64()*2-1)*0.05
+			}
+			s.queries[qi] = q
+			s.exact[qi] = s.ix.SearchAppend(nil, q, annBenchK, 0, index.NoExclude)
+		}
+	})
+}
+
+// BenchmarkNearestToVectorANN is the recall/latency trade-off table of
+// the ANN layer: at 100K x 128 and the paper's 470K x 128 hostname
+// scale, the exact parallel scan against the HNSW graph over an ef
+// sweep, with recall@{1,10,50} per ef reported next to the timings.
+func BenchmarkNearestToVectorANN(b *testing.B) {
+	for _, s := range []*annBenchState{&annBench100K, &annBench470K} {
+		b.Run(strconv.Itoa(s.rows/1000)+"Kx"+strconv.Itoa(s.dim), func(b *testing.B) {
+			s.setup(b)
+			bytesPerQuery := int64(s.rows) * int64(s.dim) * 4
+
+			b.Run("exact", func(b *testing.B) {
+				var dst []index.Result
+				b.SetBytes(bytesPerQuery)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					dst = s.ix.SearchAppend(dst[:0], s.queries[i%len(s.queries)], annBenchK, 0, index.NoExclude)
+					if len(dst) != annBenchK {
+						b.Fatalf("got %d results", len(dst))
+					}
+				}
+			})
+			for _, ef := range []int{32, 64, 128, 256} {
+				b.Run("ann-ef"+strconv.Itoa(ef), func(b *testing.B) {
+					// Recall against the exact ground truth, outside the
+					// timer; the timed loop then runs the same queries.
+					var r1, r10, r50 float64
+					fallbacks := 0
+					for qi, q := range s.queries {
+						res, fell := s.ann.SearchAppend(nil, q, annBenchK, ef, 0, index.NoExclude)
+						if fell {
+							fallbacks++
+						}
+						ex := s.exact[qi]
+						r1 += index.Recall(ex[:1], res[:min(1, len(res))])
+						r10 += index.Recall(ex[:10], res[:min(10, len(res))])
+						r50 += index.Recall(ex, res)
+					}
+					n := float64(len(s.queries))
+					var dst []index.Result
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						dst, _ = s.ann.SearchAppend(dst[:0], s.queries[i%len(s.queries)], annBenchK, ef, 0, index.NoExclude)
+					}
+					b.StopTimer()
+					_ = dst
+					b.ReportMetric(r1/n, "recall@1")
+					b.ReportMetric(r10/n, "recall@10")
+					b.ReportMetric(r50/n, "recall@50")
+					b.ReportMetric(float64(fallbacks), "fallbacks")
+				})
+			}
+		})
+	}
+}

@@ -53,6 +53,18 @@ type ProfilerConfig struct {
 	// instead of the packed float32 index — the equivalence harness's
 	// baseline, kept as an operational escape hatch.
 	SerialScan bool
+	// ANN routes Eq. (3) neighbourhood queries through an HNSW graph
+	// over the packed rows instead of the exact scan — sublinear in the
+	// vocabulary, opt-in, with a transparent exact-scan fallback when
+	// the graph cannot meet its recall contract (see index.ANN). The
+	// labelled view gets its own graph. Ignored under SerialScan.
+	ANN bool
+	// ANNEf is the ANN search breadth (dynamic candidate list size);
+	// 0 selects the index default (128). Larger is slower and more
+	// accurate.
+	ANNEf int
+	// ANNM is the ANN graph degree; 0 selects the index default (16).
+	ANNM int
 	// Metrics, when non-nil, receives the hostprof_index_* series: build
 	// time and size gauges at construction, query counters and latency
 	// per neighbourhood scan.
@@ -80,9 +92,25 @@ type Profiler struct {
 	idx *index.Index
 	lab *index.Index
 
+	// ann and labANN are the HNSW graphs over idx and lab, nil unless
+	// cfg.ANN. They are immutable once built, so a retrain swaps in a
+	// whole new Profiler with fresh graphs — queries can never pair an
+	// old graph with new vectors.
+	ann    *index.ANN
+	labANN *index.ANN
+
+	// Sampled recall accounting: every 64th graph-answered query also
+	// runs the exact scan and scores the ANN answer against it.
+	annSample atomic.Uint64
+	annHits   atomic.Int64
+	annWant   atomic.Int64
+
 	// Cached metric handles, nil without cfg.Metrics.
 	mQueries      *obs.Counter
 	mQuerySeconds *obs.Histogram
+	mANNQueries   *obs.Counter
+	mANNFallbacks *obs.Counter
+	mANNSampled   *obs.Counter
 }
 
 // Profiler errors.
@@ -130,6 +158,13 @@ func NewProfiler(m *Model, ont *ontology.Ontology, cfg ProfilerConfig) *Profiler
 			sort.Ints(ids)
 			p.lab = p.idx.Subset(ids)
 		}
+		if cfg.ANN {
+			annCfg := index.ANNConfig{M: cfg.ANNM, Ef: cfg.ANNEf}
+			p.ann = p.idx.BuildANN(annCfg)
+			if p.lab != nil {
+				p.labANN = p.lab.BuildANN(annCfg)
+			}
+		}
 		if reg := cfg.Metrics; reg != nil {
 			reg.Describe("hostprof_index_build_seconds", "Time to build (or attach) the packed similarity index per profiler.")
 			reg.Describe("hostprof_index_rows", "Vocabulary rows in the packed similarity index.")
@@ -149,6 +184,42 @@ func NewProfiler(m *Model, ont *ontology.Ontology, cfg ProfilerConfig) *Profiler
 			reg.Gauge("hostprof_index_labelled_rows").Set(float64(labRows))
 			p.mQueries = reg.Counter("hostprof_index_queries_total")
 			p.mQuerySeconds = reg.Histogram("hostprof_index_query_seconds", obs.ExpBuckets(0.0001, 2, 14))
+			if p.ann != nil {
+				reg.Describe("hostprof_index_ann_build_seconds", "Time to build each HNSW graph (full and labelled view).")
+				reg.Describe("hostprof_index_ann_nodes", "Rows inserted into the HNSW graph, by graph.")
+				reg.Describe("hostprof_index_ann_edges", "Directed edges in the HNSW graph over all layers, by graph.")
+				reg.Describe("hostprof_index_ann_max_level", "Highest populated HNSW layer, by graph.")
+				reg.Describe("hostprof_index_ann_queries_total", "Neighbourhood queries routed through the ANN layer.")
+				reg.Describe("hostprof_index_ann_fallbacks_total", "ANN queries answered by the exact-scan fallback instead of the graph.")
+				reg.Describe("hostprof_index_ann_sampled_queries_total", "Graph-answered queries re-run exactly for the recall estimate.")
+				reg.Describe("hostprof_index_ann_recall_estimate", "Sampled ANN recall against the exact scan since the last (re)build; 1 before any sample.")
+				bh := reg.Histogram("hostprof_index_ann_build_seconds", obs.ExpBuckets(0.001, 2, 16))
+				for _, g := range []struct {
+					name string
+					ann  *index.ANN
+				}{{"full", p.ann}, {"labelled", p.labANN}} {
+					if g.ann == nil {
+						continue
+					}
+					st := g.ann.Stats()
+					bh.Observe(st.BuildTime.Seconds())
+					reg.Gauge("hostprof_index_ann_nodes", obs.L("graph", g.name)).Set(float64(st.GraphRows))
+					reg.Gauge("hostprof_index_ann_edges", obs.L("graph", g.name)).Set(float64(st.Edges))
+					reg.Gauge("hostprof_index_ann_max_level", obs.L("graph", g.name)).Set(float64(st.MaxLevel))
+				}
+				p.mANNQueries = reg.Counter("hostprof_index_ann_queries_total")
+				p.mANNFallbacks = reg.Counter("hostprof_index_ann_fallbacks_total")
+				p.mANNSampled = reg.Counter("hostprof_index_ann_sampled_queries_total")
+				// Re-registering after a retrain points the series at the
+				// new profiler's accounting (GaugeFunc replaces the fn).
+				reg.GaugeFunc("hostprof_index_ann_recall_estimate", func() float64 {
+					want := p.annWant.Load()
+					if want == 0 {
+						return 1
+					}
+					return float64(p.annHits.Load()) / float64(want)
+				})
+			}
 		}
 	}
 	return p
@@ -214,24 +285,48 @@ func dedupFirst(hosts []string) []string {
 	return out
 }
 
+// annSearch answers one Eq. (3) neighbourhood query: through the HNSW
+// graph when one is attached (counting queries and fallbacks, and
+// keeping a sampled recall estimate by re-running every 64th
+// graph-answered query exactly), through the exact scan otherwise.
+func (p *Profiler) annSearch(ix *index.Index, ann *index.ANN, sVec []float64, k int) []index.Result {
+	if ann == nil {
+		return ix.SearchAppend(nil, sVec, k, p.cfg.IndexWorkers, index.NoExclude)
+	}
+	res, fellBack := ann.SearchAppend(nil, sVec, k, 0, p.cfg.IndexWorkers, index.NoExclude)
+	p.mANNQueries.Inc() // nil-safe without cfg.Metrics
+	if fellBack {
+		p.mANNFallbacks.Inc()
+		return res
+	}
+	if p.annSample.Add(1)%64 == 1 {
+		exact := ix.SearchAppend(nil, sVec, k, p.cfg.IndexWorkers, index.NoExclude)
+		p.annHits.Add(int64(index.RecallHits(exact, res)))
+		p.annWant.Add(int64(len(exact)))
+		p.mANNSampled.Inc()
+	}
+	return res
+}
+
 // nearest runs the Eq. (3) neighbourhood query — the k vocabulary hosts
-// closest to the session representation — through the packed index, or
-// the serial float64 reference when SerialScan is set. The index scan is
-// recorded as a profile.index span under ctx and counted in the
-// hostprof_index_* metrics.
+// closest to the session representation — through the packed index (ANN
+// graph first when enabled), or the serial float64 reference when
+// SerialScan is set. The index scan is recorded as a profile.index span
+// under ctx and counted in the hostprof_index_* metrics.
 func (p *Profiler) nearest(ctx context.Context, sVec []float64, k int) []Neighbour {
 	if p.idx == nil {
 		return p.model.NearestToVector(sVec, k, nil)
 	}
 	_, span := p.cfg.Tracer.StartSpan(ctx, "profile.index")
 	start := time.Now()
-	res := p.idx.SearchAppend(nil, sVec, k, p.cfg.IndexWorkers, index.NoExclude)
+	res := p.annSearch(p.idx, p.ann, sVec, k)
 	if p.mQueries != nil {
 		p.mQueries.Inc()
 		p.mQuerySeconds.Observe(time.Since(start).Seconds())
 	}
 	span.SetAttr("rows", strconv.Itoa(p.idx.Rows()))
 	span.SetAttr("k", strconv.Itoa(k))
+	span.SetAttr("ann", strconv.FormatBool(p.ann != nil))
 	span.End()
 	ns := make([]Neighbour, len(res))
 	for i, r := range res {
@@ -271,7 +366,7 @@ func (p *Profiler) NearestLabelled(hosts []string, k int) []Neighbour {
 		}
 		return out
 	}
-	res := p.lab.SearchAppend(nil, sVec, k, p.cfg.IndexWorkers, index.NoExclude)
+	res := p.annSearch(p.lab, p.labANN, sVec, k)
 	ns := make([]Neighbour, len(res))
 	for i, r := range res {
 		id := int(r.ID)

@@ -1,0 +1,95 @@
+package index
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzANNBuild feeds arbitrary vector sets — empty, single row,
+// duplicates, NaN/Inf payloads — through BuildANN and SearchAppend,
+// asserting the pair never panics, returns at most k unique in-range
+// IDs, keeps the (score desc, ID asc) order among finite scores, and
+// rejects non-finite rows at insert.
+func FuzzANNBuild(f *testing.F) {
+	f.Add([]byte{})                                                                                      // empty matrix
+	f.Add([]byte{4, 3, 2, 16})                                                                           // header only: single short row
+	f.Add([]byte{1, 1, 1, 1, 0, 0, 0, 0})                                                                // dim 1, one zero row
+	f.Add([]byte{2, 5, 4, 8, 1, 2, 3, 4, 1, 2, 3, 4, 1, 2, 3, 4})                                        // duplicate rows
+	f.Add([]byte{3, 2, 2, 4, 0x7f, 0xc0, 0, 0, 0x7f, 0x80, 0, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}) // NaN and +Inf payloads
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			t.Skip("cap corpus growth")
+		}
+		dim, k, m, ef := 1, 1, 0, 0
+		if len(data) >= 4 {
+			dim = 1 + int(data[0])%16
+			k = 1 + int(data[1])%32
+			m = int(data[2]) % 9
+			ef = int(data[3]) % 65
+			data = data[4:]
+		}
+		// Remaining bytes become float32 rows bit for bit, so NaN, Inf
+		// and denormal payloads all reach the build unlaundered.
+		vals := len(data) / 4
+		rows := vals / dim
+		vecs := make([]float64, rows*dim)
+		for i := 0; i < rows*dim; i++ {
+			bits := uint32(data[4*i]) | uint32(data[4*i+1])<<8 |
+				uint32(data[4*i+2])<<16 | uint32(data[4*i+3])<<24
+			vecs[i] = float64(math.Float32frombits(bits))
+		}
+		ix := New(vecs, rows, dim, Config{BlockRows: 8})
+		ann := ix.BuildANN(ANNConfig{M: m, EfConstruction: ef, Ef: ef, Seed: 42})
+
+		st := ann.Stats()
+		if st.GraphRows+st.Unindexed != rows {
+			t.Fatalf("graph rows %d + unindexed %d != rows %d", st.GraphRows, st.Unindexed, rows)
+		}
+		// Rebuild determinism: the graph is a pure function of its input.
+		if s2 := ix.BuildANN(ANNConfig{M: m, EfConstruction: ef, Ef: ef, Seed: 42}).Stats(); s2 != st {
+			// BuildTime differs by nature; compare everything else.
+			s2.BuildTime, st.BuildTime = 0, 0
+			if s2 != st {
+				t.Fatalf("rebuild changed the graph: %+v vs %+v", st, s2)
+			}
+		}
+
+		query := make([]float64, dim)
+		if rows > 0 {
+			copy(query, vecs[:dim]) // aim at the first row
+		} else {
+			query[0] = 1
+		}
+		got, _ := ann.SearchAppend(nil, query, k, 0, 1, NoExclude)
+		if len(got) > k {
+			t.Fatalf("returned %d results for k=%d", len(got), k)
+		}
+		seen := make(map[int32]bool, len(got))
+		for i, r := range got {
+			if r.ID < 0 || int(r.ID) >= rows {
+				t.Fatalf("result ID %d out of range [0,%d)", r.ID, rows)
+			}
+			if seen[r.ID] {
+				t.Fatalf("duplicate ID %d in results", r.ID)
+			}
+			seen[r.ID] = true
+			if i > 0 {
+				prev, cur := got[i-1], r
+				if !math.IsNaN(float64(prev.Score)) && !math.IsNaN(float64(cur.Score)) {
+					if worse(entry{score: prev.Score, row: prev.ID}, entry{score: cur.Score, row: cur.ID}) {
+						t.Fatalf("results out of (score desc, ID asc) order at %d: %v then %v", i, prev, cur)
+					}
+				}
+			}
+		}
+		// Exclusion must hold under arbitrary input too.
+		if rows > 0 {
+			ex, _ := ann.SearchAppend(nil, query, k, 0, 1, 0)
+			for _, r := range ex {
+				if r.ID == 0 {
+					t.Fatal("excluded ID 0 present in results")
+				}
+			}
+		}
+	})
+}

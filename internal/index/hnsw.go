@@ -1,0 +1,628 @@
+// Approximate nearest-neighbour search over a packed Index: a
+// Hierarchical Navigable Small World graph (Malkov & Yashunin, 2018)
+// built from the same unit-normalized float32 rows the exact scan
+// reads, answering Eq. (3) neighbourhood queries in time roughly
+// logarithmic in the vocabulary instead of linear.
+//
+// Determinism. The exact index promises bit-identical results for any
+// worker count; the ANN layer keeps that promise by construction:
+//
+//   - Node levels are a pure function of (seed, row) — a splitmix64
+//     hash fed through the standard exponential level formula — so the
+//     layer assignment never depends on timing or insertion order.
+//   - The graph is built by inserting rows in ascending row order on a
+//     single goroutine; every candidate heap and neighbour-selection
+//     pass compares entries under the same (score desc, row asc) total
+//     order the exact scan uses, so equal-score choices are stable.
+//   - Queries are sequential over the frozen graph; the `workers`
+//     argument only parallelizes the exact-scan fallback, which is
+//     itself deterministic for any worker count.
+//
+// Two builds over the same rows therefore produce identical graphs,
+// and a query returns bit-identical results however often it is
+// repeated and whatever GOMAXPROCS is.
+//
+// Fallback rules. The graph cannot always meet the recall contract,
+// and in each such case the query transparently falls back to the
+// exact scan (reported to the caller, counted by the profiler's
+// hostprof_index_ann_fallbacks_total):
+//
+//   - the graph is empty, or k reaches the graph size (the scan is
+//     exact at equal cost);
+//   - the graph holds no more rows than the search breadth ef (the
+//     ANN walk would touch most of them anyway, without a guarantee);
+//   - the search returned fewer than k rows (disconnected remnant or
+//     over-excluded candidate set);
+//   - some rows were rejected at insert (zero or non-finite vectors)
+//     and the k-th ANN score is not positive — an unindexed zero row
+//     scores exactly 0 in the exact order and could outrank it.
+//
+// Rows whose packed vector is zero or contains a non-finite value are
+// rejected at insert: they have no usable direction to navigate by.
+// They remain visible to the exact scan, which the fallback rule above
+// accounts for.
+package index
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// ANNConfig tunes the HNSW graph. The zero value selects defaults
+// matching the HNSW paper's recommended operating point.
+type ANNConfig struct {
+	// M is the maximum neighbour count per node on layers above the
+	// base; layer 0 keeps 2M. Default 16.
+	M int
+	// EfConstruction is the candidate-list breadth while inserting a
+	// node. Larger builds a better graph, slower. Default 100.
+	EfConstruction int
+	// Ef is the default search breadth: the size of the dynamic
+	// candidate list per query. Raised to at least k per query.
+	// Default 128.
+	Ef int
+	// Seed feeds the deterministic level assignment. Two builds over
+	// the same rows and seed produce identical graphs.
+	Seed uint64
+}
+
+// maxANNLevel caps node levels; P(level > 24) at M=16 is ~2^-96.
+const maxANNLevel = 24
+
+func (c ANNConfig) withDefaults() ANNConfig {
+	if c.M <= 1 {
+		c.M = 16
+	}
+	if c.EfConstruction <= 0 {
+		c.EfConstruction = 100
+	}
+	if c.Ef <= 0 {
+		c.Ef = 128
+	}
+	return c
+}
+
+// ANN is a frozen HNSW graph over an Index's packed rows. Queries are
+// safe for concurrent use; the graph is immutable after BuildANN.
+type ANN struct {
+	ix  *Index
+	cfg ANNConfig
+	m0  int     // layer-0 degree cap (2M)
+	ml  float64 // level multiplier 1/ln(M)
+
+	entry     int32 // highest-level node, -1 when the graph is empty
+	maxLevel  int
+	graphRows int // rows inserted into the graph
+	unindexed int // rows rejected at insert (zero / non-finite)
+
+	// Flattened adjacency. Row r's layer-l neighbour list lives in
+	// nbr[nbrBase[r]+segOff(l) : +cnt[segBase[r]+l]]; capacity is m0
+	// for layer 0 and M above. Rows rejected at insert get level -1
+	// and zero-width segments.
+	levels  []int8
+	segBase []int32
+	nbrBase []int32
+	cnt     []int32
+	nbr     []int32
+
+	buildTime time.Duration
+	states    sync.Pool // *annState
+}
+
+// ANNStats describes a built graph, for metrics and diagnostics.
+type ANNStats struct {
+	Rows      int // rows in the underlying index
+	GraphRows int // rows inserted into the graph
+	Unindexed int // rows rejected at insert (zero / non-finite)
+	MaxLevel  int // highest populated layer
+	Edges     int // directed edges over all layers
+	M         int
+	Ef        int
+	BuildTime time.Duration
+}
+
+// BuildANN constructs an HNSW graph over the index's packed rows. The
+// build is sequential and deterministic: same rows, same cfg, same
+// graph. The index itself is unchanged and keeps serving exact scans.
+func (ix *Index) BuildANN(cfg ANNConfig) *ANN {
+	start := time.Now()
+	cfg = cfg.withDefaults()
+	a := &ANN{
+		ix:    ix,
+		cfg:   cfg,
+		m0:    2 * cfg.M,
+		ml:    1 / math.Log(float64(cfg.M)),
+		entry: -1,
+	}
+	rows := ix.rows
+	a.levels = make([]int8, rows)
+	a.segBase = make([]int32, rows+1)
+	a.nbrBase = make([]int32, rows+1)
+	for r := 0; r < rows; r++ {
+		segs, caps := 0, 0
+		if a.insertable(int32(r)) {
+			l := a.levelFor(r)
+			a.levels[r] = int8(l)
+			segs, caps = l+1, a.m0+l*cfg.M
+		} else {
+			a.levels[r] = -1
+			a.unindexed++
+		}
+		a.segBase[r+1] = a.segBase[r] + int32(segs)
+		a.nbrBase[r+1] = a.nbrBase[r] + int32(caps)
+	}
+	a.cnt = make([]int32, a.segBase[rows])
+	a.nbr = make([]int32, a.nbrBase[rows])
+	st := newAnnState(a)
+	for r := 0; r < rows; r++ {
+		if a.levels[r] < 0 {
+			continue
+		}
+		a.insert(int32(r), int(a.levels[r]), st)
+		a.graphRows++
+	}
+	a.buildTime = time.Since(start)
+	a.states.New = func() any { return newAnnState(a) }
+	return a
+}
+
+// Stats returns the built graph's shape.
+func (a *ANN) Stats() ANNStats {
+	edges := 0
+	for _, c := range a.cnt {
+		edges += int(c)
+	}
+	return ANNStats{
+		Rows:      a.ix.rows,
+		GraphRows: a.graphRows,
+		Unindexed: a.unindexed,
+		MaxLevel:  a.maxLevel,
+		Edges:     edges,
+		M:         a.cfg.M,
+		Ef:        a.cfg.Ef,
+		BuildTime: a.buildTime,
+	}
+}
+
+// Index returns the exact index the graph was built over.
+func (a *ANN) Index() *Index { return a.ix }
+
+// insertable reports whether a packed row carries a usable direction:
+// finite values, not all zero.
+func (a *ANN) insertable(row int32) bool {
+	v := a.vec(row)
+	nonzero := false
+	for _, x := range v {
+		if x != 0 {
+			nonzero = true
+		}
+		// NaN and ±Inf both fail the self-subtraction identity.
+		if x-x != 0 {
+			return false
+		}
+	}
+	return nonzero
+}
+
+// levelFor assigns a node level as a pure function of (seed, row):
+// splitmix64 output mapped to (0,1], then the exponential level formula
+// floor(-ln(u)·mL) of the HNSW paper.
+func (a *ANN) levelFor(row int) int {
+	z := a.cfg.Seed + (uint64(row)+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	u := (float64(z>>11) + 1) / (1 << 53) // (0, 1]
+	l := int(-math.Log(u) * a.ml)
+	if l > maxANNLevel {
+		l = maxANNLevel
+	}
+	return l
+}
+
+// vec returns row's packed unit vector.
+func (a *ANN) vec(row int32) []float32 {
+	d := a.ix.dim
+	return a.ix.packed[int(row)*d : int(row)*d+d]
+}
+
+// capAt returns the neighbour capacity of a segment at layer l.
+func (a *ANN) capAt(layer int) int {
+	if layer == 0 {
+		return a.m0
+	}
+	return a.cfg.M
+}
+
+// segOff returns the offset of layer l's segment within a row's
+// neighbour block.
+func (a *ANN) segOff(layer int) int32 {
+	if layer == 0 {
+		return 0
+	}
+	return int32(a.m0 + (layer-1)*a.cfg.M)
+}
+
+// neighborsOf returns row's layer-l neighbour list.
+func (a *ANN) neighborsOf(row int32, layer int) []int32 {
+	off := a.nbrBase[row] + a.segOff(layer)
+	n := a.cnt[a.segBase[row]+int32(layer)]
+	return a.nbr[off : off+n]
+}
+
+// addLink appends a directed edge from→to at layer l, reporting false
+// when the segment is full.
+func (a *ANN) addLink(from, to int32, layer int) bool {
+	seg := a.segBase[from] + int32(layer)
+	c := a.cnt[seg]
+	if int(c) >= a.capAt(layer) {
+		return false
+	}
+	a.nbr[a.nbrBase[from]+a.segOff(layer)+c] = to
+	a.cnt[seg] = c + 1
+	return true
+}
+
+// greedy hill-climbs layer l from cur towards the query, following the
+// (score desc, row asc) total order so equal-score plateaus resolve
+// deterministically and the walk terminates.
+func (a *ANN) greedy(q []float32, cur entry, layer int) entry {
+	for {
+		improved := false
+		for _, nb := range a.neighborsOf(cur.row, layer) {
+			cand := entry{score: dot32(q, a.vec(nb)), row: nb}
+			if worse(cur, cand) {
+				cur = cand
+				improved = true
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+}
+
+// searchLayer runs the best-first beam search of the HNSW paper at one
+// layer from one entry row, leaving the ef best entries found in
+// st.res.
+func (a *ANN) searchLayer(q []float32, enter int32, ef, layer int, st *annState) {
+	st.seed = st.seed[:0]
+	st.seed = append(st.seed, entry{score: dot32(q, a.vec(enter)), row: enter})
+	a.searchLayerFrom(q, ef, layer, st)
+}
+
+// searchLayerFrom is searchLayer seeded with st.seed — Algorithm 1 of
+// the paper hands the whole previous layer's candidate set down as
+// entry points while inserting, which matters for recall on corpora
+// where the greedy path from a single entry dead-ends early.
+func (a *ANN) searchLayerFrom(q []float32, ef, layer int, st *annState) {
+	st.nextEpoch()
+	st.res.reset(ef)
+	st.cand.reset()
+	for _, e := range st.seed {
+		if st.visited[e.row] == st.epoch {
+			continue
+		}
+		st.visited[e.row] = st.epoch
+		st.cand.push(e)
+		st.res.offer(e)
+	}
+	for st.cand.len() > 0 {
+		c := st.cand.pop()
+		if len(st.res.e) >= ef && worse(c, st.res.e[0]) {
+			break // best frontier candidate ranks below the worst kept
+		}
+		for _, nb := range a.neighborsOf(c.row, layer) {
+			if st.visited[nb] == st.epoch {
+				continue
+			}
+			st.visited[nb] = st.epoch
+			en := entry{score: dot32(q, a.vec(nb)), row: nb}
+			if len(st.res.e) < ef || !worse(en, st.res.e[0]) {
+				st.cand.push(en)
+				st.res.offer(en)
+			}
+		}
+	}
+}
+
+// drainBestFirst empties st.res into st.scratch, best entry first.
+func (st *annState) drainBestFirst() []entry {
+	n := len(st.res.e)
+	if cap(st.scratch) < n {
+		st.scratch = make([]entry, n)
+	}
+	st.scratch = st.scratch[:n]
+	for i := n - 1; i >= 0; i-- {
+		st.scratch[i] = st.res.pop()
+	}
+	return st.scratch
+}
+
+// selectNeighbors applies the diversity heuristic of HNSW Algorithm 4
+// to cands (sorted best-first, scores relative to the node being
+// linked): a candidate is kept only if it is closer to the query node
+// than to every already-kept neighbour, then remaining slots are filled
+// with the pruned candidates in rank order (keepPruned), preserving
+// connectivity on uniform data. The result is appended to sel.
+func (a *ANN) selectNeighbors(cands []entry, max int, sel []entry) []entry {
+	sel = sel[:0]
+	if len(cands) <= max {
+		return append(sel, cands...)
+	}
+	for _, c := range cands {
+		if len(sel) == max {
+			break
+		}
+		cv := a.vec(c.row)
+		diverse := true
+		for _, s := range sel {
+			if dot32(cv, a.vec(s.row)) > c.score {
+				diverse = false
+				break
+			}
+		}
+		if diverse {
+			sel = append(sel, c)
+		}
+	}
+	for _, c := range cands {
+		if len(sel) == max {
+			break
+		}
+		kept := false
+		for _, s := range sel {
+			if s.row == c.row {
+				kept = true
+				break
+			}
+		}
+		if !kept {
+			sel = append(sel, c)
+		}
+	}
+	return sel
+}
+
+// linkBack adds the reverse edge nb→r, pruning nb's neighbour list with
+// the same diversity heuristic when it overflows.
+func (a *ANN) linkBack(nb, r int32, layer int, st *annState) {
+	if a.addLink(nb, r, layer) {
+		return
+	}
+	nv := a.vec(nb)
+	st.prune = st.prune[:0]
+	for _, o := range a.neighborsOf(nb, layer) {
+		st.prune = append(st.prune, entry{score: dot32(nv, a.vec(o)), row: o})
+	}
+	st.prune = append(st.prune, entry{score: dot32(nv, a.vec(r)), row: r})
+	sortEntries(st.prune)
+	st.sel2 = a.selectNeighbors(st.prune, a.capAt(layer), st.sel2)
+	off := a.nbrBase[nb] + a.segOff(layer)
+	for i, e := range st.sel2 {
+		a.nbr[off+int32(i)] = e.row
+	}
+	a.cnt[a.segBase[nb]+int32(layer)] = int32(len(st.sel2))
+}
+
+// sortEntries orders a small slice best-first under the shared total
+// order (insertion sort: candidate lists are at most m0+1 long).
+func sortEntries(e []entry) {
+	for i := 1; i < len(e); i++ {
+		x := e[i]
+		j := i - 1
+		for j >= 0 && worse(e[j], x) {
+			e[j+1] = e[j]
+			j--
+		}
+		e[j+1] = x
+	}
+}
+
+// insert adds row r at level lr to the graph (HNSW Algorithm 1).
+func (a *ANN) insert(r int32, lr int, st *annState) {
+	if a.entry < 0 {
+		a.entry = r
+		a.maxLevel = lr
+		return
+	}
+	q := a.vec(r)
+	cur := entry{score: dot32(q, a.vec(a.entry)), row: a.entry}
+	for layer := a.maxLevel; layer > lr; layer-- {
+		cur = a.greedy(q, cur, layer)
+	}
+	top := lr
+	if top > a.maxLevel {
+		top = a.maxLevel
+	}
+	st.seed = append(st.seed[:0], cur)
+	for layer := top; layer >= 0; layer-- {
+		a.searchLayerFrom(q, a.cfg.EfConstruction, layer, st)
+		cands := st.drainBestFirst()
+		st.sel = a.selectNeighbors(cands, a.capAt(layer), st.sel)
+		for _, e := range st.sel {
+			a.addLink(r, e.row, layer)
+			a.linkBack(e.row, r, layer, st)
+		}
+		// The whole candidate set seeds the next layer down (Alg. 1).
+		st.seed = append(st.seed[:0], cands...)
+	}
+	if lr > a.maxLevel {
+		a.entry = r
+		a.maxLevel = lr
+	}
+}
+
+// Search returns the k rows most similar to query under the ANN graph
+// (falling back to the exact scan per the package rules), allocating
+// the result slice. Hot paths should use SearchAppend.
+func (a *ANN) Search(query []float64, k int) []Result {
+	res, _ := a.SearchAppend(nil, query, k, 0, 0, NoExclude)
+	return res
+}
+
+// SearchAppend appends the approximate top-k rows for query to dst in
+// the exact scan's result order — (score desc, ID asc), scores
+// bit-identical to the exact index's for the same rows — and reports
+// whether the query was answered by the exact-scan fallback. ef
+// overrides the configured search breadth (0 keeps the default; always
+// raised to at least k). workers bounds exact-fallback parallelism
+// only. exclude suppresses one original ID. A zero or non-finite query
+// has no defined neighbourhood and returns dst unchanged.
+//
+// Steady state the ANN path allocates nothing beyond dst growth:
+// scratch comes from a pool sized on first use.
+func (a *ANN) SearchAppend(dst []Result, query []float64, k, ef, workers int, exclude int32) ([]Result, bool) {
+	if k <= 0 || a.ix.rows == 0 {
+		return dst, false
+	}
+	if len(query) != a.ix.dim {
+		panic("index: query dimensionality mismatch")
+	}
+	if ef <= 0 {
+		ef = a.cfg.Ef
+	}
+	if ef < k {
+		ef = k
+	}
+	if exclude != NoExclude && ef < k+1 {
+		ef = k + 1 // room to drop the excluded row
+	}
+	if a.graphRows == 0 || k >= a.graphRows || a.graphRows <= ef {
+		return a.ix.SearchAppend(dst, query, k, workers, exclude), true
+	}
+	st := a.states.Get().(*annState)
+	if !st.setQuery(query) {
+		a.states.Put(st)
+		return dst, false
+	}
+	cur := entry{score: dot32(st.q, a.vec(a.entry)), row: a.entry}
+	for layer := a.maxLevel; layer > 0; layer-- {
+		cur = a.greedy(st.q, cur, layer)
+	}
+	a.searchLayer(st.q, cur.row, ef, 0, st)
+	found := st.drainBestFirst()
+	exRow := a.ix.rowOf(exclude)
+	base := len(dst)
+	kept := 0
+	for _, e := range found {
+		if e.row == exRow {
+			continue
+		}
+		id := e.row
+		if a.ix.ids != nil {
+			id = a.ix.ids[id]
+		}
+		dst = append(dst, Result{ID: id, Score: e.score})
+		if kept++; kept == k {
+			break
+		}
+	}
+	a.states.Put(st)
+	if kept < k || (a.unindexed > 0 && dst[len(dst)-1].Score <= 0) {
+		// Candidate set too small to meet recall (or an unindexed zero
+		// row could outrank the tail): answer exactly instead.
+		return a.ix.SearchAppend(dst[:base], query, k, workers, exclude), true
+	}
+	return dst, false
+}
+
+// annState is the pooled scratch of one ANN query or build step.
+type annState struct {
+	q       []float32
+	visited []uint32
+	epoch   uint32
+	res     topk     // beam of the best ef entries
+	cand    frontier // best-first expansion queue
+	scratch []entry  // drained beam, best first
+	seed    []entry  // entry points handed into searchLayerFrom
+	sel     []entry  // forward-link selection
+	sel2    []entry  // back-link pruning selection
+	prune   []entry  // back-link candidate list
+}
+
+func newAnnState(a *ANN) *annState {
+	return &annState{
+		q:       make([]float32, a.ix.dim),
+		visited: make([]uint32, a.ix.rows),
+		sel:     make([]entry, 0, a.m0+1),
+		sel2:    make([]entry, 0, a.m0+1),
+		prune:   make([]entry, 0, a.m0+1),
+	}
+}
+
+// nextEpoch advances the visited stamp, clearing the array on the
+// (effectively unreachable) wraparound.
+func (st *annState) nextEpoch() {
+	st.epoch++
+	if st.epoch == 0 {
+		for i := range st.visited {
+			st.visited[i] = 0
+		}
+		st.epoch = 1
+	}
+}
+
+// setQuery packs query unit-normalized into st.q, mirroring the exact
+// scan's normalization bit for bit, and reports false for a zero or
+// non-finite query.
+func (st *annState) setQuery(query []float64) bool {
+	var norm float64
+	for _, x := range query {
+		norm += x * x
+	}
+	if norm == 0 || math.IsNaN(norm) || math.IsInf(norm, 0) {
+		return false
+	}
+	inv := 1 / math.Sqrt(norm)
+	for i, x := range query {
+		st.q[i] = float32(x * inv)
+	}
+	return true
+}
+
+// frontier is a max-heap of entries under the shared total order: pop
+// returns the best (highest score, lowest row) entry.
+type frontier struct {
+	e []entry
+}
+
+func (f *frontier) reset()   { f.e = f.e[:0] }
+func (f *frontier) len() int { return len(f.e) }
+
+func (f *frontier) push(e entry) {
+	f.e = append(f.e, e)
+	i := len(f.e) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !worse(f.e[p], f.e[i]) {
+			break
+		}
+		f.e[p], f.e[i] = f.e[i], f.e[p]
+		i = p
+	}
+}
+
+func (f *frontier) pop() entry {
+	root := f.e[0]
+	n := len(f.e) - 1
+	f.e[0] = f.e[n]
+	f.e = f.e[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && worse(f.e[s], f.e[l]) {
+			s = l
+		}
+		if r < n && worse(f.e[s], f.e[r]) {
+			s = r
+		}
+		if s == i {
+			return root
+		}
+		f.e[i], f.e[s] = f.e[s], f.e[i]
+		i = s
+	}
+}

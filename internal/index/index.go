@@ -88,8 +88,13 @@ func New(vecs []float64, rows, dim int, cfg Config) *Index {
 		for _, x := range src {
 			norm += x * x
 		}
-		if norm == 0 {
-			continue // zero row stays zero
+		if norm == 0 || math.IsNaN(norm) || math.IsInf(norm, 0) {
+			// Zero rows stay zero (cosine 0 against everything), and rows
+			// with NaN/Inf components join them: their cosine is
+			// undefined, the float64 serial reference already scores them
+			// 0 via its rn > 0 guard, and a NaN packed value would poison
+			// every heap comparison it ever takes part in.
+			continue
 		}
 		inv := 1 / math.Sqrt(norm)
 		dst := ix.packed[r*dim : r*dim+dim]

@@ -1,0 +1,31 @@
+package index
+
+// RecallHits counts how many of the exact results' IDs appear in the
+// approximate results — the numerator of recall@k. Both slices are ID
+// sets for the count; ordering does not matter.
+func RecallHits(exact, approx []Result) int {
+	if len(exact) == 0 {
+		return 0
+	}
+	seen := make(map[int32]struct{}, len(approx))
+	for _, r := range approx {
+		seen[r.ID] = struct{}{}
+	}
+	hits := 0
+	for _, r := range exact {
+		if _, ok := seen[r.ID]; ok {
+			hits++
+		}
+	}
+	return hits
+}
+
+// Recall returns the fraction of exact results recovered by the
+// approximate results (recall@k with k = len(exact)). An empty exact
+// set has recall 1: there was nothing to miss.
+func Recall(exact, approx []Result) float64 {
+	if len(exact) == 0 {
+		return 1
+	}
+	return float64(RecallHits(exact, approx)) / float64(len(exact))
+}

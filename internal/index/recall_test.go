@@ -1,0 +1,177 @@
+package index
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// clusteredMatrix draws rows around nClusters centroids with isotropic
+// noise, plus a uniform tail — the shape trained embeddings actually
+// take (topical clusters plus long-tail hosts), and the regime where
+// graph search must navigate rather than luck into neighbours. Cluster
+// membership is r % nClusters (tail rows are r % 5 == 4), so tests can
+// assemble same-topic row sets deterministically.
+func clusteredMatrix(rng *rand.Rand, rows, dim, nClusters int, noise float64) []float64 {
+	centroids := randMatrix(rng, nClusters, dim)
+	m := make([]float64, rows*dim)
+	for r := 0; r < rows; r++ {
+		if r%5 == 4 { // uniform tail: 20% of rows
+			for i := 0; i < dim; i++ {
+				m[r*dim+i] = rng.Float64()*2 - 1
+			}
+			continue
+		}
+		c := r % nClusters
+		for i := 0; i < dim; i++ {
+			m[r*dim+i] = centroids[c*dim+i] + rng.NormFloat64()*noise
+		}
+	}
+	return m
+}
+
+// sessionQuery builds an Eq.(3)-shaped query: an IDF-ish weighted sum
+// of a few same-cluster rows (the topical session) plus one uniform
+// tail row (the tracker everyone embeds), lightly perturbed.
+func sessionQuery(rng *rand.Rand, vecs []float64, rows, dim, nClusters int) []float64 {
+	q := make([]float64, dim)
+	anchor := rng.Intn(rows)
+	for anchor%5 == 4 {
+		anchor = rng.Intn(rows)
+	}
+	hosts := 3 + rng.Intn(6)
+	for h := 0; h < hosts; h++ {
+		r := (anchor + h*nClusters) % rows // same cluster, different hosts
+		if r%5 == 4 {
+			r = (r + nClusters) % rows
+		}
+		w := 0.3 + rng.Float64()
+		for i := 0; i < dim; i++ {
+			q[i] += w * vecs[r*dim+i]
+		}
+	}
+	tail := rng.Intn(rows/5)*5 + 4
+	for i := 0; i < dim; i++ {
+		q[i] += 0.3 * vecs[tail*dim+i]
+		q[i] += (rng.Float64()*2 - 1) * 0.05
+	}
+	return q
+}
+
+// TestANNRecallGate is the CI recall gate: over a clustered corpus
+// shaped like trained embeddings, queried with session-shaped weighted
+// host mixtures (the Eq.(3) workload), ANN recall@10 against the exact
+// index must stay at or above 0.95 at the default ef. Fully seeded, so
+// a failure is a real regression, not flake.
+func TestANNRecallGate(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	rows, dim := 12_000, 64
+	const nClusters = 150
+	vecs := clusteredMatrix(rng, rows, dim, nClusters, 0.35)
+	ix := New(vecs, rows, dim, Config{})
+	ann := ix.BuildANN(ANNConfig{Seed: 17})
+
+	const queries, k = 100, 10
+	var exact, approx []Result
+	hits, want := 0, 0
+	fallbacks := 0
+	for qi := 0; qi < queries; qi++ {
+		q := sessionQuery(rng, vecs, rows, dim, nClusters)
+		exact = ix.SearchAppend(exact[:0], q, k, 0, NoExclude)
+		var fb bool
+		approx, fb = ann.SearchAppend(approx[:0], q, k, 0, 0, NoExclude)
+		if fb {
+			fallbacks++
+		}
+		hits += RecallHits(exact, approx)
+		want += len(exact)
+	}
+	recall := float64(hits) / float64(want)
+	t.Logf("recall@%d = %.4f over %d queries (%d fallbacks)", k, recall, queries, fallbacks)
+	if recall < 0.95 {
+		t.Fatalf("recall@%d = %.4f, gate requires >= 0.95", k, recall)
+	}
+	if fallbacks == queries {
+		t.Fatal("every query fell back to exact; the gate never exercised the graph")
+	}
+}
+
+// TestANNRecallProperty is the property harness of the ISSUE: for any
+// corpus shape, worker count and ef, the ANN is deterministic, every
+// returned ID appears in the exact top-(k+slack), and returned items
+// carry bit-exact exact-index scores in (score desc, ID asc) order.
+func TestANNRecallProperty(t *testing.T) {
+	prop := func(seed int64, rowsRaw, dimRaw, kRaw, efRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 300 + int(rowsRaw)*2 // 300..810
+		dim := 8 + int(dimRaw)%25    // 8..32
+		k := 1 + int(kRaw)%20        // 1..20
+		ef := 8 + int(efRaw)%57      // 8..64
+		vecs := clusteredMatrix(rng, rows, dim, 10, 0.3)
+		ix := New(vecs, rows, dim, Config{BlockRows: 64})
+		ann := ix.BuildANN(ANNConfig{Ef: ef, Seed: uint64(seed)})
+		q := randMatrix(rng, 1, dim)
+
+		base, baseFB := ann.SearchAppend(nil, q, k, ef, 1, NoExclude)
+		for workers := 2; workers <= 4; workers++ {
+			got, fb := ann.SearchAppend(nil, q, k, ef, workers, NoExclude)
+			if fb != baseFB || !reflect.DeepEqual(got, base) {
+				t.Logf("seed=%d: non-deterministic across workers", seed)
+				return false
+			}
+		}
+
+		// Containment: ANN answers live in the exact top-(k+slack). The
+		// searched beam holds ef candidates, so slack = ef bounds how far
+		// down the exact ranking any returned row can sit.
+		slack := ef
+		exact := ix.SearchAppend(nil, q, k+slack, 1, NoExclude)
+		pos := make(map[int32]int, len(exact))
+		for i, r := range exact {
+			pos[r.ID] = i
+		}
+		prev := -1
+		for _, r := range base {
+			i, ok := pos[r.ID]
+			if !ok {
+				t.Logf("seed=%d: ID %d outside exact top-%d", seed, r.ID, k+slack)
+				return false
+			}
+			if exact[i].Score != r.Score {
+				t.Logf("seed=%d: ID %d score %g != exact %g", seed, r.ID, r.Score, exact[i].Score)
+				return false
+			}
+			if i <= prev { // exact order is the shared total order
+				t.Logf("seed=%d: results out of (score desc, ID asc) order", seed)
+				return false
+			}
+			prev = i
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 25,
+		Rand:     rand.New(rand.NewSource(99)), // seeded: failures reproduce
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecallHelpers(t *testing.T) {
+	ex := []Result{{ID: 1}, {ID: 2}, {ID: 3}, {ID: 4}}
+	ap := []Result{{ID: 2}, {ID: 4}, {ID: 9}}
+	if h := RecallHits(ex, ap); h != 2 {
+		t.Fatalf("hits = %d, want 2", h)
+	}
+	if r := Recall(ex, ap); r != 0.5 {
+		t.Fatalf("recall = %g, want 0.5", r)
+	}
+	if r := Recall(nil, ap); r != 1 {
+		t.Fatalf("empty exact set: recall = %g, want 1", r)
+	}
+	if h := RecallHits(nil, ap); h != 0 {
+		t.Fatalf("empty exact set: hits = %d, want 0", h)
+	}
+}

@@ -270,3 +270,90 @@ func TestProfileCacheNeverStaleAcrossRetrain(t *testing.T) {
 		}
 	}
 }
+
+// TestProfileCacheNeverStaleAcrossRetrainANN is the ANN variant of the
+// retrain hammer: with the HNSW layer enabled, concurrent batch queries
+// during a generation swap must never observe a mixed old-graph /
+// new-vectors state. The graph lives inside the Profiler that the swap
+// replaces wholesale, so post-swap answers must match a fresh profiler
+// built with the same ANN configuration over the current model.
+func TestProfileCacheNeverStaleAcrossRetrainANN(t *testing.T) {
+	u := synth.NewUniverse(synth.UniverseConfig{Sites: 100, Trackers: 15, Seed: 3})
+	ont := synth.BuildOntology(u, synth.OntologyConfig{Coverage: 0.2, Seed: 5})
+	db := ads.BuildFromOntology(ont, ads.BuildConfig{Seed: 7})
+	// ANNEf is tiny so the graph genuinely answers queries at this
+	// vocabulary size instead of falling back to the exact scan.
+	profCfg := core.ProfilerConfig{N: 30, Agg: core.AggIDF, ANN: true, ANNEf: 8}
+	b, err := New(Config{
+		Ontology:     ont,
+		AdDB:         db,
+		Train:        core.TrainConfig{Dim: 16, Epochs: 4, MinCount: 2, Workers: 1, Seed: 11, Subsample: -1},
+		Profile:      profCfg,
+		ProfileCache: 128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(b.Handler())
+	t.Cleanup(srv.Close)
+	fx := &backendFixture{b: b, srv: srv, u: u,
+		pop: synth.NewPopulation(u, synth.PopulationConfig{Users: 8, Days: 2, Seed: 13})}
+	fx.feedVisits(t)
+	if err := b.Retrain(); err != nil {
+		t.Fatal(err)
+	}
+
+	sessions := [][]string{
+		profileableSession(fx),
+		{fx.u.Hosts[fx.u.Sites[1].Host].Name},
+		{fx.u.Hosts[fx.u.Sites[2].Host].Name, fx.u.Hosts[fx.u.Sites[3].Host].Name},
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, _, err := b.ProfileSessions(context.Background(), sessions); err != nil {
+					t.Errorf("batch during retrain: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	fx.pop = synth.NewPopulation(u, synth.PopulationConfig{Users: 8, Days: 2, Seed: 29})
+	fx.feedVisits(t)
+	if err := b.RetrainContext(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+
+	fresh := core.NewProfiler(b.Store().Model(), ont, profCfg)
+	vecs, errs, err := b.ProfileSessions(context.Background(), sessions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range sessions {
+		want, wantErr := fresh.ProfileSession(s)
+		if (errs[i] == nil) != (wantErr == nil) {
+			t.Fatalf("session %d: err %v, fresh ANN profiler err %v", i, errs[i], wantErr)
+		}
+		if (vecs[i] == nil) != (want == nil) || len(vecs[i]) != len(want) {
+			t.Fatalf("session %d: cached ANN profile does not match the post-swap model", i)
+		}
+		for c := range want {
+			if d := math.Abs(vecs[i][c] - want[c]); d > 1e-9 {
+				t.Fatalf("session %d category %d: cached %g vs post-swap %g",
+					i, c, vecs[i][c], want[c])
+			}
+		}
+	}
+}
